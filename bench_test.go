@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+	"repro/internal/userlib"
+	"repro/internal/workload"
+)
+
+// benchOpts shrinks measurement windows so the full bench suite stays
+// fast; the shapes reported are the same as `neonsim -exp all`.
+func benchOpts() exp.Options {
+	o := exp.Quick()
+	o.Warmup = 30 * time.Millisecond
+	o.Measure = 120 * time.Millisecond
+	return o
+}
+
+// benchExperiment regenerates one paper artifact per iteration and
+// reports simulated-vs-wall time.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table := e.Run(opts)
+		if len(table.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// One benchmark per table/figure of the paper (DESIGN.md Section 3).
+
+func BenchmarkTable1(b *testing.B)         { benchExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)           { benchExperiment(b, "fig2") }
+func BenchmarkSec3Throughput(b *testing.B) { benchExperiment(b, "sec3") }
+func BenchmarkFig4(b *testing.B)           { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)           { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkProtection(b *testing.B)     { benchExperiment(b, "protect") }
+func BenchmarkSec63DoS(b *testing.B)       { benchExperiment(b, "sec63") }
+func BenchmarkAblationStats(b *testing.B)  { benchExperiment(b, "ablation-stats") }
+func BenchmarkAblationParams(b *testing.B) { benchExperiment(b, "ablation-params") }
+
+// BenchmarkSimEngine measures raw event throughput of the simulation
+// substrate: how many scheduled callbacks the engine dispatches per
+// second of wall time.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 100000 {
+				eng.After(time.Microsecond, tick)
+			}
+		}
+		eng.After(0, tick)
+		eng.Run()
+		if n != 100000 {
+			b.Fatalf("dispatched %d events", n)
+		}
+	}
+}
+
+// BenchmarkRequestPath measures the full submission path: stage, doorbell
+// store, device execution, reference-counter completion, user wakeup.
+func BenchmarkRequestPath(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	dev := gpu.New(eng, gpu.DefaultConfig())
+	k := neon.NewKernel(dev, benchNoSched{})
+	t := k.NewTask("bench")
+	done := 0
+	t.Go("main", func(p *sim.Proc) {
+		client, err := userlib.Open(p, k, t, "bench", gpu.Compute)
+		if err != nil {
+			return
+		}
+		for {
+			client.SubmitSync(p, gpu.Compute, 10*time.Microsecond)
+			done++
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(time.Millisecond)
+	}
+	if done == 0 {
+		b.Fatal("no requests completed")
+	}
+	b.ReportMetric(float64(done)/float64(b.N), "requests/ms-simulated")
+}
+
+// BenchmarkDFQCycle measures the cost of whole engagement/free-run cycles
+// with two saturating tasks.
+func BenchmarkDFQCycle(b *testing.B) {
+	b.ReportAllocs()
+	opts := benchOpts()
+	dct, _ := workload.ByName("DCT")
+	thr := workload.Throttle(64*time.Microsecond, 0)
+	rig := exp.NewRig(exp.DFQ, opts, dct, thr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Engine.RunFor(30 * time.Millisecond)
+	}
+}
+
+type benchNoSched struct{}
+
+func (benchNoSched) Name() string                                          { return "none" }
+func (benchNoSched) Start(*neon.Kernel)                                    {}
+func (benchNoSched) TaskAdmitted(*neon.Task)                               {}
+func (benchNoSched) TaskExited(*neon.Task)                                 {}
+func (benchNoSched) ChannelActivated(cs *neon.ChannelState)                { cs.Ch.Reg.SetPresent(true) }
+func (benchNoSched) HandleFault(*sim.Proc, *neon.Task, *neon.ChannelState) {}

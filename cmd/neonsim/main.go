@@ -1,0 +1,63 @@
+// Command neonsim regenerates the tables and figures of "Disengaged
+// Scheduling for Fair, Protected Access to Fast Computational
+// Accelerators" (ASPLOS 2014) on the simulated GPU stack.
+//
+// Usage:
+//
+//	neonsim -list
+//	neonsim -exp fig6            # one experiment, paper-scale windows
+//	neonsim -exp all -quick      # everything, reduced windows
+//	neonsim -exp fig9 -seed 7    # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "use reduced measurement windows")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Int64("seed", 1, "deterministic simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opts := exp.Full()
+	if *quick {
+		opts = exp.Quick()
+	}
+	opts.Seed = *seed
+
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		table := e.Run(opts)
+		fmt.Println(table.String())
+		fmt.Printf("  [%s regenerated in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *which == "all" {
+		for _, e := range exp.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.ByID(*which)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "neonsim: unknown experiment %q (try -list)\n", *which)
+		os.Exit(2)
+	}
+	run(e)
+}

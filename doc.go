@@ -1,0 +1,32 @@
+// Package repro is a from-scratch Go reproduction of "Disengaged
+// Scheduling for Fair, Protected Access to Fast Computational
+// Accelerators" (Menychtas, Shen, Scott — ASPLOS 2014).
+//
+// The paper's NEON prototype interposes on the memory-mapped submission
+// interface of real Nvidia GPUs from a Linux kernel module. That cannot
+// be done from user-space Go, so this repository reproduces the system on
+// a deterministic discrete-event simulation of the full stack:
+//
+//   - internal/sim      — the discrete-event engine
+//   - internal/mmio     — the direct-mapped register interface and its
+//     page-protection interception point
+//   - internal/gpu      — the accelerator (channels, reference counters,
+//     round-robin arbitration, context switching, DMA overlap, limits)
+//   - internal/neon     — the kernel module analog (fault handler,
+//     polling service, drain barriers, sampling, kill, channel policy)
+//   - internal/core     — the schedulers: Timeslice with overuse control,
+//     Disengaged Timeslice, Disengaged Fair Queueing, plus the direct
+//     access baseline and an oracle-statistics ablation
+//   - internal/userlib  — the user-space runtime library analog
+//   - internal/workload — Table 1 application models, Throttle, and
+//     adversarial workloads
+//   - internal/exp      — one driver per table and figure of the paper
+//
+// Run the evaluation with:
+//
+//	go run ./cmd/neonsim -list
+//	go run ./cmd/neonsim -exp all -quick
+//
+// See DESIGN.md for the substitution argument and system inventory, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

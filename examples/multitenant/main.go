@@ -1,0 +1,38 @@
+// Multitenant: four applications share one GPU under each scheduling
+// policy — the paper's Figure 8 scenario as a library example. Prints
+// per-task slowdowns and overall efficiency per policy.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	opts := exp.Quick()
+
+	thr := workload.Throttle(425*time.Microsecond, 0)
+	bs, _ := workload.ByName("BinarySearch")
+	dct, _ := workload.ByName("DCT")
+	fft, _ := workload.ByName("FFT")
+	specs := []workload.Spec{thr, bs, dct, fft}
+
+	fmt.Println("Four concurrent applications: Throttle(425us), BinarySearch, DCT, FFT")
+	fmt.Println("(fair outcome with four tasks is a ~4x slowdown each)")
+	fmt.Println()
+
+	alone := exp.MeasureAlone(opts, specs...)
+	for _, sched := range []exp.Sched{exp.Direct, exp.TS, exp.DTS, exp.DFQ} {
+		res := exp.RunMix(sched, opts, alone, specs...)
+		fmt.Printf("%-26s", sched.Label())
+		for i, s := range specs {
+			fmt.Printf("  %s=%.2fx", s.Name, res.Slowdowns[i])
+		}
+		fmt.Printf("  efficiency=%.2f\n", res.Efficiency)
+	}
+}

@@ -1,0 +1,41 @@
+// Nonsaturating: the work-conservation story (paper Section 5.4). A
+// Throttle that sleeps 80% of every cycle shares the GPU with a
+// saturating DCT. Timeslice schedulers waste the sleeper's slices; the
+// work-conserving Disengaged Fair Queueing gives the idle time to DCT.
+//
+//	go run ./examples/nonsaturating
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	opts := exp.Quick()
+	dct, _ := workload.ByName("DCT")
+
+	fmt.Println("DCT vs Throttle(425us) as the Throttle's off-period grows:")
+	fmt.Println()
+	fmt.Printf("%-8s  %-26s  %-10s  %-10s  %s\n", "off", "scheduler", "DCT", "Throttle", "efficiency")
+	for _, ratio := range []float64{0, 0.5, 0.8} {
+		thr := workload.Throttle(425*time.Microsecond, ratio)
+		alone := exp.MeasureAlone(opts, dct, thr)
+		for _, sched := range []exp.Sched{exp.TS, exp.DTS, exp.DFQ} {
+			res := exp.RunMix(sched, opts, alone, dct, thr)
+			fmt.Printf("%-8s  %-26s  %-10s  %-10s  %.2f\n",
+				fmt.Sprintf("%.0f%%", ratio*100), sched.Label(),
+				fmt.Sprintf("%.2fx", res.Slowdowns[0]),
+				fmt.Sprintf("%.2fx", res.Slowdowns[1]),
+				res.Efficiency)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how DCT stays pinned near 2x under both timeslice variants no")
+	fmt.Println("matter how idle its co-runner is, while under Disengaged Fair")
+	fmt.Println("Queueing it reclaims the unused cycles (and the Throttle, which is")
+	fmt.Println("not saturating anyway, barely suffers).")
+}

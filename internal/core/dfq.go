@@ -1,0 +1,356 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/neon"
+	"repro/internal/sim"
+)
+
+// DFQConfig parameterizes Disengaged Fair Queueing (paper Section 5.2
+// defaults).
+type DFQConfig struct {
+	// SamplePeriod caps each task's sampling run.
+	SamplePeriod sim.Duration
+	// SampleRequests ends a sampling run early once this many requests
+	// have been observed.
+	SampleRequests int
+	// SampleRequestsMulti is the request target for tasks with multiple
+	// channels (combined compute/graphics applications).
+	SampleRequestsMulti int
+	// FreeRunMultiplier scales the disengaged free-run period relative to
+	// the engagement episode.
+	FreeRunMultiplier int
+	// DefaultEstimate seeds a task's request-size estimate before its
+	// first successful sampling run.
+	DefaultEstimate sim.Duration
+}
+
+// DefaultDFQConfig returns the paper's configuration.
+func DefaultDFQConfig() DFQConfig {
+	return DFQConfig{
+		SamplePeriod:        5 * time.Millisecond,
+		SampleRequests:      32,
+		SampleRequestsMulti: 96,
+		FreeRunMultiplier:   5,
+		DefaultEstimate:     100 * time.Microsecond,
+	}
+}
+
+// dfqMode is the phase of the engagement/free-run cycle.
+type dfqMode int
+
+const (
+	dfqBarrier dfqMode = iota
+	dfqSampling
+	dfqFreeRun
+)
+
+// dfqTask is the per-task scheduler state.
+type dfqTask struct {
+	// vt is the task's virtual time: its estimated cumulative device
+	// usage (probabilistically updated, per the paper).
+	vt sim.Duration
+	// est is the estimated mean request service time from the most recent
+	// successful sampling run.
+	est sim.Duration
+	// lastCompleted is the reference-counter fingerprint at the previous
+	// barrier, for per-interval completion deltas.
+	lastCompleted int64
+	// activeAtBarrier records whether the task had work at barrier entry.
+	activeAtBarrier bool
+	// sampledRequests is the last sampling run's observation count.
+	sampledRequests int
+	// denied marks the task as excluded from the next free run.
+	denied bool
+}
+
+// DisengagedFairQueueing is the paper's Section 3.3 scheduler: a fair
+// queueing variant that avoids per-request interception. Requests run
+// with direct device access during long free-run periods; fairness is
+// maintained by periodic engagement episodes — a submission barrier, a
+// drain, a short exclusive sampling run per active task to estimate mean
+// request size, then virtual-time maintenance that may deny fast-running
+// tasks access to the next free run.
+//
+// The usage estimator deliberately reproduces the prototype's assumption
+// of round-robin device arbitration: an interval's busy time is
+// attributed to active tasks in proportion to their mean sampled request
+// sizes. When the device does not serve channels uniformly (graphics
+// penalty), or when a task keeps only some of its channels busy, the
+// estimate is wrong in exactly the ways Section 5.3 reports. See
+// OracleFairQueueing for the vendor-statistics alternative.
+type DisengagedFairQueueing struct {
+	cfg DFQConfig
+
+	k         *neon.Kernel
+	mode      dfqMode
+	sampled   *neon.Task
+	st        map[*neon.Task]*dfqTask
+	admitGate *sim.Gate
+	sysVT     sim.Duration
+
+	// Cycles counts completed engagement episodes, for tests.
+	Cycles int64
+	// Denials counts task-intervals denied, for tests.
+	Denials int64
+}
+
+// NewDisengagedFairQueueing returns the scheduler with the given
+// configuration; zero fields are replaced by defaults.
+func NewDisengagedFairQueueing(cfg DFQConfig) *DisengagedFairQueueing {
+	def := DefaultDFQConfig()
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = def.SamplePeriod
+	}
+	if cfg.SampleRequests <= 0 {
+		cfg.SampleRequests = def.SampleRequests
+	}
+	if cfg.SampleRequestsMulti <= 0 {
+		cfg.SampleRequestsMulti = def.SampleRequestsMulti
+	}
+	if cfg.FreeRunMultiplier <= 0 {
+		cfg.FreeRunMultiplier = def.FreeRunMultiplier
+	}
+	if cfg.DefaultEstimate <= 0 {
+		cfg.DefaultEstimate = def.DefaultEstimate
+	}
+	return &DisengagedFairQueueing{cfg: cfg, st: make(map[*neon.Task]*dfqTask)}
+}
+
+// Name implements neon.Scheduler.
+func (d *DisengagedFairQueueing) Name() string { return "disengaged-fair-queueing" }
+
+// Config returns the active configuration.
+func (d *DisengagedFairQueueing) Config() DFQConfig { return d.cfg }
+
+// VirtualTime returns the task's current virtual time, for tests.
+func (d *DisengagedFairQueueing) VirtualTime(t *neon.Task) sim.Duration {
+	if s := d.st[t]; s != nil {
+		return s.vt
+	}
+	return 0
+}
+
+// SystemVirtualTime returns the system-wide virtual time.
+func (d *DisengagedFairQueueing) SystemVirtualTime() sim.Duration { return d.sysVT }
+
+// Estimate returns the task's sampled mean request size, for tests.
+func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
+	if s := d.st[t]; s != nil {
+		return s.est
+	}
+	return 0
+}
+
+// Denied reports whether the task is excluded from the current free run.
+func (d *DisengagedFairQueueing) Denied(t *neon.Task) bool {
+	s := d.st[t]
+	return s != nil && s.denied
+}
+
+// Start implements neon.Scheduler.
+func (d *DisengagedFairQueueing) Start(k *neon.Kernel) {
+	d.k = k
+	d.admitGate = k.Engine().NewGate("dfq-admit")
+	k.Engine().Spawn("sched/dfq", d.run)
+}
+
+// TaskAdmitted implements neon.Scheduler.
+func (d *DisengagedFairQueueing) TaskAdmitted(t *neon.Task) {
+	d.st[t] = &dfqTask{est: d.cfg.DefaultEstimate, vt: d.sysVT}
+	d.admitGate.Broadcast()
+}
+
+// TaskExited implements neon.Scheduler.
+func (d *DisengagedFairQueueing) TaskExited(t *neon.Task) {
+	delete(d.st, t)
+}
+
+// ChannelActivated implements neon.Scheduler: new channels are mapped
+// directly only while their task is free to run.
+func (d *DisengagedFairQueueing) ChannelActivated(cs *neon.ChannelState) {
+	cs.Ch.Reg.SetPresent(d.mayRun(cs.Task))
+}
+
+// HandleFault implements neon.Scheduler: submissions from barriered or
+// denied tasks wait; the sampled task and free-running tasks proceed.
+func (d *DisengagedFairQueueing) HandleFault(p *sim.Proc, t *neon.Task, cs *neon.ChannelState) {
+	p.WaitFor(t.Gate(), func() bool { return !t.Alive || d.mayRun(t) })
+}
+
+// mayRun reports whether the task's submissions may currently proceed.
+func (d *DisengagedFairQueueing) mayRun(t *neon.Task) bool {
+	switch d.mode {
+	case dfqSampling:
+		return t == d.sampled
+	case dfqFreeRun:
+		s := d.st[t]
+		return s == nil || !s.denied
+	default: // barrier
+		return false
+	}
+}
+
+// run is the engagement/free-run cycle of Figure 3.
+func (d *DisengagedFairQueueing) run(p *sim.Proc) {
+	lastBarrier := p.Now()
+	for {
+		live := d.k.Tasks()
+		if len(live) == 0 {
+			p.Wait(d.admitGate)
+			lastBarrier = p.Now()
+			continue
+		}
+
+		// --- Barrier: stop new submissions everywhere, then drain. ---
+		engStart := p.Now()
+		window := engStart.Sub(lastBarrier)
+		lastBarrier = engStart
+		d.mode = dfqBarrier
+		d.k.EngageAll()
+		for _, t := range live {
+			s := d.state(t)
+			s.activeAtBarrier = t.PendingRequests() > 0 || t.Gate().Waiters() > 0
+		}
+		d.k.Drain(p, live)
+
+		// --- Sampling runs for tasks that issued work last interval. ---
+		sampledCount := 0
+		for _, t := range live {
+			if !t.Alive {
+				continue
+			}
+			s := d.state(t)
+			completed := t.CompletedRequests()
+			issued := completed > s.lastCompleted
+			s.lastCompleted = completed
+			if !issued && !s.activeAtBarrier {
+				continue // do not waste sampling time on idle tasks
+			}
+			sampledCount++
+			want := d.cfg.SampleRequests
+			if len(t.Channels()) > 1 {
+				want = d.cfg.SampleRequestsMulti
+			}
+			d.mode = dfqSampling
+			d.sampled = t
+			t.Gate().Broadcast()
+			res := d.k.Sample(p, t, d.cfg.SamplePeriod, want)
+			d.sampled = nil
+			d.mode = dfqBarrier
+			s.sampledRequests = len(res.Sizes)
+			if m := res.Mean(); m > 0 {
+				s.est = m
+			} else if t.PendingRequests() > 0 && res.Elapsed > s.est {
+				// The task kept the device busy for the whole window
+				// without completing anything: its requests are at least
+				// as long as the window. Observable from the reference
+				// counters alone.
+				s.est = res.Elapsed
+			}
+		}
+
+		// --- Virtual time maintenance and scheduling decision. ---
+		p.Sleep(d.k.Costs().SchedulerCompute)
+		engElapsed := p.Now().Sub(engStart)
+		nominal := d.cfg.SamplePeriod * sim.Duration(max(1, sampledCount))
+		freeRun := sim.Duration(d.cfg.FreeRunMultiplier) * maxDur(engElapsed, nominal)
+		d.maintainVirtualTime(window, freeRun)
+
+		// --- Disengaged free run. ---
+		d.mode = dfqFreeRun
+		for _, t := range d.k.Tasks() {
+			s := d.state(t)
+			if s.denied {
+				d.Denials++
+				continue
+			}
+			d.k.Disengage(t)
+			t.Gate().Broadcast()
+		}
+		d.Cycles++
+		p.Sleep(freeRun)
+	}
+}
+
+// maintainVirtualTime performs the paper's three per-engagement steps:
+// advance active tasks' virtual times, advance the system virtual time
+// and catch idle tasks up to it, and deny the next interval to tasks too
+// far ahead.
+//
+// Active tasks that were permitted to run are charged the interval in
+// proportion to their mean sampled request sizes — the round-robin
+// arbitration assumption. Tasks that spent the interval denied consumed
+// nothing and are charged nothing, but still count as active (they are
+// waiting, not idle), so they neither forfeit nor accrue credit.
+func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duration) {
+	var estSum sim.Duration
+	var active, charged []*neon.Task
+	for _, t := range d.k.Tasks() {
+		s := d.state(t)
+		if s.activeAtBarrier {
+			active = append(active, t)
+			if !s.denied { // denial state still reflects the last interval
+				charged = append(charged, t)
+				estSum += s.est
+			}
+		}
+	}
+
+	// Step 1: advance each running task's virtual time by its estimated
+	// share of the elapsed interval.
+	if estSum > 0 {
+		for _, t := range charged {
+			s := d.st[t]
+			s.vt += sim.Duration(float64(window) * float64(s.est) / float64(estSum))
+		}
+	}
+
+	// Step 1b: the system virtual time is the oldest virtual time among
+	// active tasks.
+	if len(active) > 0 {
+		minVT := d.st[active[0]].vt
+		for _, t := range active[1:] {
+			if d.st[t].vt < minVT {
+				minVT = d.st[t].vt
+			}
+		}
+		if minVT > d.sysVT {
+			d.sysVT = minVT
+		}
+	}
+
+	// Step 2: idle tasks forfeit unused credit.
+	for _, t := range d.k.Tasks() {
+		s := d.state(t)
+		if !s.activeAtBarrier && s.vt < d.sysVT {
+			s.vt = d.sysVT
+		}
+	}
+
+	// Step 3: deny the next interval to tasks so far ahead that even an
+	// exclusive interval would not let the slowest catch past them.
+	for _, t := range d.k.Tasks() {
+		s := d.state(t)
+		s.denied = s.vt-d.sysVT >= freeRun
+	}
+}
+
+func (d *DisengagedFairQueueing) state(t *neon.Task) *dfqTask {
+	s := d.st[t]
+	if s == nil {
+		s = &dfqTask{est: d.cfg.DefaultEstimate, vt: d.sysVT}
+		d.st[t] = s
+	}
+	return s
+}
+
+func maxDur(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ neon.Scheduler = (*DisengagedFairQueueing)(nil)

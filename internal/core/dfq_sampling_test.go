@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+	"repro/internal/userlib"
+)
+
+// TestDFQMultiChannelSampleTarget: combined compute/graphics tasks get
+// the larger sampling request target (96 vs 32), per Section 5.2.
+func TestDFQMultiChannelSampleTarget(t *testing.T) {
+	cfg := DefaultDFQConfig()
+	sched := NewDisengagedFairQueueing(cfg)
+	h := newHarness(t, sched)
+
+	multi := h.k.NewTask("multi")
+	multi.Go("main", func(p *sim.Proc) {
+		client, err := userlib.Open(p, h.k, multi, "multi", gpu.Compute, gpu.Graphics)
+		if err != nil {
+			return
+		}
+		for multi.Alive {
+			client.Submit(p, gpu.Compute, 5*time.Microsecond)
+			client.Submit(p, gpu.Graphics, 5*time.Microsecond)
+			client.Fence(p)
+		}
+	})
+	h.eng.RunFor(300 * time.Millisecond)
+	s := sched.st[multi]
+	if s == nil {
+		t.Fatal("no scheduler state for the task")
+	}
+	// With 5us requests a 5ms window could hold far more than 96; the
+	// early-stop target must have been the multi-channel one.
+	if s.sampledRequests <= cfg.SampleRequests {
+		t.Fatalf("sampled %d requests; multi-channel tasks should use the %d target",
+			s.sampledRequests, cfg.SampleRequestsMulti)
+	}
+	if s.sampledRequests > cfg.SampleRequestsMulti {
+		t.Fatalf("sampled %d > %d", s.sampledRequests, cfg.SampleRequestsMulti)
+	}
+}
+
+// TestDFQBarrierBlocksEveryone: during a barrier no task may submit.
+func TestDFQBarrierBlocksEveryone(t *testing.T) {
+	sched := NewDisengagedFairQueueing(DefaultDFQConfig())
+	h := newHarness(t, sched)
+	a := h.startWorker("a", 100*time.Microsecond)
+	b := h.startWorker("b", 100*time.Microsecond)
+	violations := 0
+	var probe func()
+	probe = func() {
+		if sched.mode == dfqBarrier {
+			for _, w := range []*worker{a, b} {
+				for _, cs := range w.task.Channels() {
+					if cs.Ch.Reg.Present() {
+						violations++
+					}
+				}
+			}
+		}
+		h.eng.After(100*time.Microsecond, probe)
+	}
+	h.eng.After(0, probe)
+	h.eng.RunFor(300 * time.Millisecond)
+	if violations != 0 {
+		t.Fatalf("%d unprotected channels observed during barriers", violations)
+	}
+}
+
+// TestDFQSamplingExclusive: while task A is being sampled, task B's
+// channels stay protected and B's submissions block.
+func TestDFQSamplingExclusive(t *testing.T) {
+	sched := NewDisengagedFairQueueing(DefaultDFQConfig())
+	h := newHarness(t, sched)
+	a := h.startWorker("a", 100*time.Microsecond)
+	b := h.startWorker("b", 100*time.Microsecond)
+	violations := 0
+	var probe func()
+	probe = func() {
+		if sched.mode == dfqSampling && sched.sampled != nil {
+			var other *neon.Task
+			if sched.sampled == a.task {
+				other = b.task
+			} else if sched.sampled == b.task {
+				other = a.task
+			}
+			if other != nil && other.PendingRequests() > 0 {
+				violations++
+			}
+		}
+		h.eng.After(50*time.Microsecond, probe)
+	}
+	h.eng.After(0, probe)
+	h.eng.RunFor(300 * time.Millisecond)
+	if violations != 0 {
+		t.Fatalf("%d submissions from non-sampled tasks during sampling", violations)
+	}
+}
+
+// TestDFQDeniedTaskBlockedDuringFreeRun: denial is enforced by
+// protection, not cooperation.
+func TestDFQDeniedTaskBlockedDuringFreeRun(t *testing.T) {
+	sched := NewDisengagedFairQueueing(DefaultDFQConfig())
+	h := newHarness(t, sched)
+	small := h.startWorker("small", 20*time.Microsecond)
+	big := h.startWorker("big", 1700*time.Microsecond)
+	violations := 0
+	var probe func()
+	probe = func() {
+		if sched.mode == dfqFreeRun {
+			for _, w := range []*worker{small, big} {
+				if sched.Denied(w.task) {
+					for _, cs := range w.task.Channels() {
+						if cs.Ch.Reg.Present() {
+							violations++
+						}
+					}
+				}
+			}
+		}
+		h.eng.After(200*time.Microsecond, probe)
+	}
+	h.eng.After(0, probe)
+	h.eng.RunFor(500 * time.Millisecond)
+	if sched.Denials == 0 {
+		t.Skip("no denials observed in this window")
+	}
+	if violations != 0 {
+		t.Fatalf("%d denied-but-unprotected channel observations", violations)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/neon"
+	"repro/internal/sim"
+)
+
+// DefaultOracleInterval matches one full DFQ engagement+free-run cycle.
+const DefaultOracleInterval = 30 * time.Millisecond
+
+// OracleFairQueueing is the Section 6.1 ablation: disengaged fair
+// queueing as it would exist with vendor cooperation. The device exports
+// per-context busy time (gpu.Context.BusyTime), so the scheduler needs no
+// barriers, no draining, and no sampling runs — it simply reads the
+// counters every interval, updates virtual times with *true* usage, and
+// denies tasks that have run too far ahead. Comparing it with
+// DisengagedFairQueueing isolates the cost of software estimation: the
+// glxgears and oclParticles anomalies disappear.
+type OracleFairQueueing struct {
+	interval sim.Duration
+
+	k         *neon.Kernel
+	st        map[*neon.Task]*oracleTask
+	admitGate *sim.Gate
+	sysVT     sim.Duration
+
+	// Intervals counts completed accounting rounds, for tests.
+	Intervals int64
+	// Denials counts task-intervals denied, for tests.
+	Denials int64
+}
+
+type oracleTask struct {
+	vt       sim.Duration
+	lastBusy sim.Duration
+	denied   bool
+}
+
+// NewOracleFairQueueing returns the hardware-statistics scheduler.
+func NewOracleFairQueueing(interval sim.Duration) *OracleFairQueueing {
+	if interval <= 0 {
+		interval = DefaultOracleInterval
+	}
+	return &OracleFairQueueing{interval: interval, st: make(map[*neon.Task]*oracleTask)}
+}
+
+// Name implements neon.Scheduler.
+func (o *OracleFairQueueing) Name() string { return "oracle-fair-queueing" }
+
+// VirtualTime returns the task's virtual time, for tests.
+func (o *OracleFairQueueing) VirtualTime(t *neon.Task) sim.Duration {
+	if s := o.st[t]; s != nil {
+		return s.vt
+	}
+	return 0
+}
+
+// Denied reports whether the task is currently excluded.
+func (o *OracleFairQueueing) Denied(t *neon.Task) bool {
+	s := o.st[t]
+	return s != nil && s.denied
+}
+
+// Start implements neon.Scheduler.
+func (o *OracleFairQueueing) Start(k *neon.Kernel) {
+	o.k = k
+	o.admitGate = k.Engine().NewGate("oracle-admit")
+	k.Engine().Spawn("sched/oracle", o.run)
+}
+
+// TaskAdmitted implements neon.Scheduler.
+func (o *OracleFairQueueing) TaskAdmitted(t *neon.Task) {
+	o.st[t] = &oracleTask{vt: o.sysVT}
+	o.admitGate.Broadcast()
+}
+
+// TaskExited implements neon.Scheduler.
+func (o *OracleFairQueueing) TaskExited(t *neon.Task) { delete(o.st, t) }
+
+// ChannelActivated implements neon.Scheduler.
+func (o *OracleFairQueueing) ChannelActivated(cs *neon.ChannelState) {
+	cs.Ch.Reg.SetPresent(!o.Denied(cs.Task))
+}
+
+// HandleFault implements neon.Scheduler: only denied tasks ever fault,
+// and they wait out the interval.
+func (o *OracleFairQueueing) HandleFault(p *sim.Proc, t *neon.Task, cs *neon.ChannelState) {
+	p.WaitFor(t.Gate(), func() bool { return !t.Alive || !o.Denied(t) })
+}
+
+// run reads hardware usage counters each interval and updates the
+// fair-queueing state. No draining or sampling is ever needed.
+func (o *OracleFairQueueing) run(p *sim.Proc) {
+	for {
+		live := o.k.Tasks()
+		if len(live) == 0 {
+			p.Wait(o.admitGate)
+			continue
+		}
+		p.Sleep(o.interval)
+		p.Sleep(o.k.Costs().SchedulerCompute)
+		o.Intervals++
+		o.k.EnforceRunLimit()
+
+		// Step 1: charge true per-task usage, read from the device.
+		var active []*neon.Task
+		for _, t := range o.k.Tasks() {
+			s := o.state(t)
+			busy := t.BusyTime()
+			delta := busy - s.lastBusy
+			s.lastBusy = busy
+			s.vt += delta
+			if delta > 0 || t.PendingRequests() > 0 || t.Gate().Waiters() > 0 {
+				active = append(active, t)
+			}
+		}
+		if len(active) > 0 {
+			minVT := o.st[active[0]].vt
+			for _, t := range active[1:] {
+				if o.st[t].vt < minVT {
+					minVT = o.st[t].vt
+				}
+			}
+			if minVT > o.sysVT {
+				o.sysVT = minVT
+			}
+		}
+
+		// Step 2: idle tasks forfeit unused credit.
+		activeSet := make(map[*neon.Task]bool, len(active))
+		for _, t := range active {
+			activeSet[t] = true
+		}
+		for _, t := range o.k.Tasks() {
+			s := o.state(t)
+			if !activeSet[t] && s.vt < o.sysVT {
+				s.vt = o.sysVT
+			}
+		}
+
+		// Step 3: deny tasks too far ahead; admit the rest.
+		for _, t := range o.k.Tasks() {
+			s := o.state(t)
+			denied := s.vt-o.sysVT >= o.interval
+			if denied && !s.denied {
+				o.Denials++
+				o.k.Engage(t)
+			}
+			if !denied && s.denied {
+				o.k.Disengage(t)
+			}
+			s.denied = denied
+			if !denied {
+				t.Gate().Broadcast()
+			}
+		}
+	}
+}
+
+func (o *OracleFairQueueing) state(t *neon.Task) *oracleTask {
+	s := o.st[t]
+	if s == nil {
+		s = &oracleTask{vt: o.sysVT}
+		o.st[t] = s
+	}
+	return s
+}
+
+var _ neon.Scheduler = (*OracleFairQueueing)(nil)

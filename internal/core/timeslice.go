@@ -1,0 +1,182 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/neon"
+	"repro/internal/sim"
+)
+
+// DefaultSlice is the paper's timeslice length (Section 5.2): long enough
+// to amortize token passing, short enough to stay under the 100 ms human
+// perception threshold.
+const DefaultSlice = 30 * time.Millisecond
+
+// Timeslice is the token-based timeslice scheduler with overuse control
+// (paper Section 3.1), in both its engaged and disengaged forms.
+//
+// A token circulates round-robin among live tasks; only the holder's
+// requests may reach the device. At the end of each slice the kernel
+// drains the holder's outstanding requests; time past the slice boundary
+// is charged as overuse, and a task whose accrued overuse exceeds a full
+// slice forfeits its next turn. Over-long requests are handled by the
+// kernel's run-limit kill during the drain.
+//
+// In the engaged form every submission is intercepted (pages always
+// protected), paying the full per-request cost. In the disengaged form
+// the holder's pages are mapped for direct access during its slice, so
+// interception costs are paid only by tasks trying to run out of turn.
+type Timeslice struct {
+	slice      sim.Duration
+	disengaged bool
+
+	k         *neon.Kernel
+	rotation  []*neon.Task
+	next      int
+	holder    *neon.Task
+	overuse   map[*neon.Task]sim.Duration
+	admitGate *sim.Gate
+
+	// SlicesGranted counts slices actually granted, for tests.
+	SlicesGranted int64
+	// TurnsSkipped counts turns forfeited to overuse, for tests.
+	TurnsSkipped int64
+}
+
+// NewTimeslice returns the engaged variant: every request is intercepted.
+func NewTimeslice(slice sim.Duration) *Timeslice {
+	return &Timeslice{slice: slice, overuse: make(map[*neon.Task]sim.Duration)}
+}
+
+// NewDisengagedTimeslice returns the disengaged variant: the token holder
+// gets direct access for the duration of its slice.
+func NewDisengagedTimeslice(slice sim.Duration) *Timeslice {
+	ts := NewTimeslice(slice)
+	ts.disengaged = true
+	return ts
+}
+
+// Name implements neon.Scheduler.
+func (ts *Timeslice) Name() string {
+	if ts.disengaged {
+		return "disengaged-timeslice"
+	}
+	return "timeslice"
+}
+
+// Slice returns the configured timeslice length.
+func (ts *Timeslice) Slice() sim.Duration { return ts.slice }
+
+// Holder returns the current token holder (nil between slices).
+func (ts *Timeslice) Holder() *neon.Task { return ts.holder }
+
+// Overuse returns the task's accrued overuse charge.
+func (ts *Timeslice) Overuse(t *neon.Task) sim.Duration { return ts.overuse[t] }
+
+// Start implements neon.Scheduler.
+func (ts *Timeslice) Start(k *neon.Kernel) {
+	ts.k = k
+	ts.admitGate = k.Engine().NewGate("ts-admit")
+	k.Engine().Spawn("sched/"+ts.Name(), ts.run)
+}
+
+// TaskAdmitted implements neon.Scheduler.
+func (ts *Timeslice) TaskAdmitted(t *neon.Task) {
+	ts.rotation = append(ts.rotation, t)
+	ts.admitGate.Broadcast()
+}
+
+// TaskExited implements neon.Scheduler.
+func (ts *Timeslice) TaskExited(t *neon.Task) {
+	for i, x := range ts.rotation {
+		if x == t {
+			ts.rotation = append(ts.rotation[:i], ts.rotation[i+1:]...)
+			if ts.next > i {
+				ts.next--
+			}
+			break
+		}
+	}
+	delete(ts.overuse, t)
+	if ts.holder == t {
+		ts.holder = nil
+	}
+}
+
+// ChannelActivated implements neon.Scheduler: protection is the default;
+// under the disengaged variant the holder's own new channels are mapped.
+func (ts *Timeslice) ChannelActivated(cs *neon.ChannelState) {
+	direct := ts.disengaged && ts.holder == cs.Task
+	cs.Ch.Reg.SetPresent(direct)
+}
+
+// HandleFault implements neon.Scheduler: out-of-turn submissions block
+// until the submitting task holds the token.
+func (ts *Timeslice) HandleFault(p *sim.Proc, t *neon.Task, cs *neon.ChannelState) {
+	p.WaitFor(t.Gate(), func() bool { return !t.Alive || ts.holder == t })
+}
+
+// run is the scheduler control process: grant, sleep, re-engage, drain,
+// charge, rotate.
+func (ts *Timeslice) run(p *sim.Proc) {
+	for {
+		t := ts.pick()
+		if t == nil {
+			p.Wait(ts.admitGate)
+			continue
+		}
+
+		ts.holder = t
+		ts.SlicesGranted++
+		if ts.disengaged {
+			ts.k.Disengage(t)
+		}
+		t.Gate().Broadcast()
+
+		deadline := p.Now().Add(ts.slice)
+		p.Sleep(ts.slice)
+
+		ts.holder = nil
+		if t.Alive {
+			if ts.disengaged {
+				ts.k.Engage(t)
+			}
+			res := ts.k.Drain(p, []*neon.Task{t})
+			if t.Alive {
+				ts.overuse[t] += res.Overuse(t, deadline)
+			}
+		}
+	}
+}
+
+// pick selects the next token holder, consuming skipped turns of
+// overusers. A skipped turn costs its task one slice of accrued overuse
+// and passes the token on immediately. Returns nil when no tasks exist.
+func (ts *Timeslice) pick() *neon.Task {
+	if len(ts.rotation) == 0 {
+		return nil
+	}
+	// Overuse is finite, so this terminates: every inspection of an
+	// ineligible task decrements its debt by a full slice.
+	for {
+		if len(ts.rotation) == 0 {
+			return nil
+		}
+		if ts.next >= len(ts.rotation) {
+			ts.next = 0
+		}
+		t := ts.rotation[ts.next]
+		ts.next++
+		if !t.Alive {
+			continue
+		}
+		if ts.overuse[t] >= ts.slice {
+			ts.overuse[t] -= ts.slice
+			ts.TurnsSkipped++
+			continue
+		}
+		return t
+	}
+}
+
+var _ neon.Scheduler = (*Timeslice)(nil)

@@ -1,0 +1,71 @@
+// Package cost centralizes the latency model of the simulated platform.
+//
+// Every expense the paper measures — direct register writes, syscall
+// traps, page-fault interception, NEON's per-fault buffer scanning, GPU
+// context switches, polling granularity — is a field here, so schedulers
+// contain no magic numbers and parameter ablations are plain sweeps.
+package cost
+
+import "time"
+
+// Model is the set of platform latencies, all in virtual time.
+type Model struct {
+	// DirectWrite is the cost of a store to a directly mapped device
+	// register (305 cycles at 2.27 GHz in the paper's testbed).
+	DirectWrite time.Duration
+
+	// SyscallTrap is the round-trip cost of a minimal user/kernel mode
+	// switch, as paid per request by a trap-per-request stack.
+	SyscallTrap time.Duration
+
+	// SyscallDriverWork is the additional per-request cost when the trap
+	// performs nontrivial GPU-driver processing (the paper's 48-170%
+	// comparison point).
+	SyscallDriverWork time.Duration
+
+	// FaultTrap is the cost of taking a page fault on a protected channel
+	// register, delivering it to the handler, single-stepping the faulting
+	// instruction and restoring protection.
+	FaultTrap time.Duration
+
+	// FaultScan is NEON's per-intercepted-request manipulation cost:
+	// scanning the command queue for the reference counter location and
+	// building kernel mappings (paper Section 4).
+	FaultScan time.Duration
+
+	// ReengageScan is the post-re-engagement status update: walking every
+	// active channel's buffers to find the last submitted reference values
+	// (paid once per re-engagement, per active channel).
+	ReengageScan time.Duration
+
+	// ContextSwitch is the GPU-side cost of switching the engine between
+	// channels of different contexts.
+	ContextSwitch time.Duration
+
+	// PollInterval is the granularity of the kernel polling-thread
+	// service that detects request completions via reference counters.
+	PollInterval time.Duration
+
+	// SchedulerCompute is the CPU cost of one scheduling decision in the
+	// kernel (virtual time bookkeeping, token pass, etc.).
+	SchedulerCompute time.Duration
+}
+
+// Default returns the calibrated latency model from DESIGN.md Section 5.
+func Default() Model {
+	return Model{
+		DirectWrite:       140 * time.Nanosecond,
+		SyscallTrap:       3500 * time.Nanosecond,
+		SyscallDriverWork: 15 * time.Microsecond,
+		FaultTrap:         4 * time.Microsecond,
+		FaultScan:         8 * time.Microsecond,
+		ReengageScan:      8 * time.Microsecond,
+		ContextSwitch:     12 * time.Microsecond,
+		PollInterval:      1 * time.Millisecond,
+		SchedulerCompute:  2 * time.Microsecond,
+	}
+}
+
+// InterceptCost is the full per-request price of fault-based capture:
+// trap plus buffer-scan manipulation.
+func (m Model) InterceptCost() time.Duration { return m.FaultTrap + m.FaultScan }

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AblationStats isolates the cost of software usage estimation (the
+// Section 5.3 limitation and Section 6.1 proposal): the DFQ anomaly pairs
+// run under sampled-estimate DFQ and under the oracle variant that reads
+// vendor-exported per-context busy time.
+func AblationStats(opts Options) *report.Table {
+	t := report.New("Ablation: sampled estimates (prototype DFQ) vs hardware statistics (oracle)",
+		"Pair", "DFQ app/thr", "Oracle app/thr", "DFQ gap", "Oracle gap")
+	pairs := []struct {
+		app string
+		usz float64
+	}{
+		{"glxgears", 19},
+		{"oclParticles", 425},
+		{"DCT", 425},
+	}
+	for _, pr := range pairs {
+		spec, _ := workload.ByName(pr.app)
+		thr := workload.Throttle(time.Duration(pr.usz*float64(time.Microsecond)), 0)
+		alone := MeasureAlone(opts, spec, thr)
+		dfq := RunMix(DFQ, opts, alone, spec, thr)
+		orc := RunMix(Oracle, opts, alone, spec, thr)
+		gap := func(r MixResult) string {
+			hi, lo := r.Slowdowns[0], r.Slowdowns[1]
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			if lo <= 0 {
+				return "-"
+			}
+			return report.F(hi/lo, 2)
+		}
+		t.AddRow(fmt.Sprintf("%s vs Thr(%.0fus)", pr.app, pr.usz),
+			fmt.Sprintf("%.2f/%.2f", dfq.Slowdowns[0], dfq.Slowdowns[1]),
+			fmt.Sprintf("%.2f/%.2f", orc.Slowdowns[0], orc.Slowdowns[1]),
+			gap(dfq), gap(orc))
+	}
+	t.AddNote("gap = ratio of the worse co-runner's slowdown to the better's; 1.0 is perfectly even")
+	t.AddNote("hardware statistics shrink the unfairness caused by the round-robin estimation assumption")
+	return t
+}
+
+// AblationParams sweeps the design parameters DESIGN.md calls out:
+// polling granularity (drain idleness), timeslice length, and the DFQ
+// free-run multiplier, reporting standalone overhead and pair fairness.
+func AblationParams(opts Options) *report.Table {
+	t := report.New("Ablation: configuration parameters",
+		"Variant", "standalone DCT overhead", "pair DCT/Thr(425us)")
+	dct, _ := workload.ByName("DCT")
+	thr := workload.Throttle(425*time.Microsecond, 0)
+	aloneDCT := MeasureAlone(opts, dct)[0]
+	alonePair := MeasureAlone(opts, dct, thr)
+
+	// Polling granularity sweep (Disengaged Timeslice).
+	for _, poll := range []sim.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
+		costs := cost.Default()
+		costs.PollInterval = poll
+		sd, pair := ablationRun(opts, costs, func() neon.Scheduler {
+			return core.NewDisengagedTimeslice(core.DefaultSlice)
+		}, dct, thr, aloneDCT, alonePair)
+		t.AddRow(fmt.Sprintf("DTS poll=%v", poll), report.Pct(sd-1), pair)
+	}
+	// Timeslice length sweep.
+	for _, slice := range []sim.Duration{10 * time.Millisecond, 30 * time.Millisecond, 90 * time.Millisecond} {
+		sd, pair := ablationRun(opts, cost.Default(), func() neon.Scheduler {
+			return core.NewDisengagedTimeslice(slice)
+		}, dct, thr, aloneDCT, alonePair)
+		t.AddRow(fmt.Sprintf("DTS slice=%v", slice), report.Pct(sd-1), pair)
+	}
+	// DFQ free-run multiplier sweep.
+	for _, mult := range []int{2, 5, 10} {
+		cfg := core.DefaultDFQConfig()
+		cfg.FreeRunMultiplier = mult
+		sd, pair := ablationRun(opts, cost.Default(), func() neon.Scheduler {
+			return core.NewDisengagedFairQueueing(cfg)
+		}, dct, thr, aloneDCT, alonePair)
+		t.AddRow(fmt.Sprintf("DFQ freerun=%dx", mult), report.Pct(sd-1), pair)
+	}
+	t.AddNote("finer polling shrinks drain idleness; longer slices amortize token passing; longer free runs amortize engagement")
+	return t
+}
+
+// ablationRun builds two custom rigs (standalone and pair) with explicit
+// costs and scheduler constructor, returning standalone slowdown and the
+// pair slowdown cell.
+func ablationRun(opts Options, costs cost.Model, mk func() neon.Scheduler,
+	dct, thr workload.Spec, aloneDCT sim.Duration, alonePair []sim.Duration) (float64, string) {
+
+	run := func(specs ...workload.Spec) []sim.Duration {
+		eng := sim.NewEngine()
+		cfg := gpu.DefaultConfig()
+		cfg.GraphicsPenalty = opts.GraphicsPenalty
+		cfg.Costs = costs
+		dev := gpu.New(eng, cfg)
+		k := neon.NewKernel(dev, mk())
+		k.RequestRunLimit = opts.RunLimit
+		var apps []*workload.App
+		rng := sim.NewRNG(opts.Seed)
+		for i, s := range specs {
+			apps = append(apps, workload.Launch(k, s, rng.Fork(int64(i))))
+		}
+		eng.RunFor(opts.Warmup)
+		for _, a := range apps {
+			a.ResetStats()
+		}
+		eng.RunFor(opts.Measure)
+		out := make([]sim.Duration, len(apps))
+		for i, a := range apps {
+			out[i] = a.AvgRound()
+		}
+		return out
+	}
+
+	solo := run(dct)[0]
+	pair := run(dct, thr)
+	sd := float64(solo) / float64(aloneDCT)
+	cell := fmt.Sprintf("%.2f/%.2f",
+		float64(pair[0])/float64(alonePair[0]),
+		float64(pair[1])/float64(alonePair[1]))
+	return sd, cell
+}

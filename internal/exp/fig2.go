@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// fig2Apps are the small-request applications the paper profiles.
+var fig2Apps = []string{"glxgears", "oclParticles", "simpleTexture3D"}
+
+// Fig2 reproduces Figure 2: CDFs of request inter-arrival periods and
+// service periods for the three small-request applications, in
+// log2-microsecond bins.
+func Fig2(opts Options) *report.Table {
+	t := report.New("Figure 2: request inter-arrival and service period CDFs (% <= bin)",
+		"Application", "Series", "<2us", "<8us", "<32us", "<128us", "<512us", "<2ms")
+	cuts := []int{1, 3, 5, 7, 9, 11} // log2(us) bin upper indexes
+	for _, name := range fig2Apps {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			continue
+		}
+		rig := NewRig(Direct, opts, spec)
+		rig.Apps[0].Observe = true
+		rig.Measure()
+		app := rig.Apps[0]
+		for _, series := range []struct {
+			label string
+			cdf   [18]float64
+		}{
+			{"inter-arrival", app.InterArrival.CDF()},
+			{"service", app.Service.CDF()},
+		} {
+			row := []string{name, series.label}
+			for _, c := range cuts {
+				row = append(row, fmt.Sprintf("%.0f%%", series.cdf[c]))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("the paper's headline observation: a large share of requests are submitted back-to-back and serviced in <10us")
+	return t
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// fig6Pairs are the application/Throttle pairings of Figures 6 and 7.
+var fig6Pairs = []string{"DCT", "FFT", "glxgears", "oclParticles"}
+
+// PairResult is one cell of the Figure 6/7 matrix.
+type PairResult struct {
+	App         string
+	ThrottleUS  float64
+	Sched       Sched
+	AppSlowdown float64
+	ThrSlowdown float64
+	Efficiency  float64
+}
+
+// RunPairs executes the full pairwise matrix: each listed application
+// against Throttle at each size, under each scheduler.
+func RunPairs(opts Options, apps []string, sizes []float64, scheds []Sched) []PairResult {
+	var out []PairResult
+	for _, name := range apps {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			continue
+		}
+		for _, usz := range sizes {
+			thr := workload.Throttle(time.Duration(usz*float64(time.Microsecond)), 0)
+			alone := MeasureAlone(opts, spec, thr)
+			for _, s := range scheds {
+				res := RunMix(s, opts, alone, spec, thr)
+				out = append(out, PairResult{
+					App: name, ThrottleUS: usz, Sched: s,
+					AppSlowdown: res.Slowdowns[0], ThrSlowdown: res.Slowdowns[1],
+					Efficiency: res.Efficiency,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// fig67Sizes trims the sweep for the default harness (the paper plots
+// 19us-1.7ms; four sizes keep the matrix readable).
+var fig67Sizes = []float64{19, 191, 425, 1700}
+
+// Fig6 reproduces Figure 6: fairness of concurrent executions — per-pair
+// normalized runtimes under each scheduler.
+func Fig6(opts Options) *report.Table {
+	return fig6Table(RunPairs(opts, fig6Pairs, fig67Sizes, AllScheds()))
+}
+
+func fig6Table(results []PairResult) *report.Table {
+	t := report.New("Figure 6: pairwise fairness (slowdown vs running alone, app/Throttle)",
+		"Pair", "direct", "Timeslice", "Disengaged TS", "Disengaged FQ")
+	type key struct {
+		app string
+		usz float64
+	}
+	rows := map[key]map[Sched]PairResult{}
+	var order []key
+	for _, r := range results {
+		k := key{r.App, r.ThrottleUS}
+		if rows[k] == nil {
+			rows[k] = map[Sched]PairResult{}
+			order = append(order, k)
+		}
+		rows[k][r.Sched] = r
+	}
+	for _, k := range order {
+		row := []string{fmt.Sprintf("%s vs Thr(%.0fus)", k.app, k.usz)}
+		for _, s := range AllScheds() {
+			r := rows[k][s]
+			row = append(row, fmt.Sprintf("%.2f/%.2f", r.AppSlowdown, r.ThrSlowdown))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("direct access is grossly unfair (>10x possible); the fair schedulers hold both co-runners near 2x")
+	t.AddNote("glxgears and oclParticles under Disengaged FQ show the paper's estimation anomalies (Section 5.3)")
+	return t
+}
+
+// Fig7 reproduces Figure 7: concurrency efficiency for the same pairs.
+func Fig7(opts Options) *report.Table {
+	results := RunPairs(opts, fig6Pairs, fig67Sizes, AllScheds())
+	t := report.New("Figure 7: concurrency efficiency (sum of resource shares)",
+		"Pair", "direct", "Timeslice", "Disengaged TS", "Disengaged FQ")
+	type key struct {
+		app string
+		usz float64
+	}
+	rows := map[key]map[Sched]PairResult{}
+	var order []key
+	for _, r := range results {
+		k := key{r.App, r.ThrottleUS}
+		if rows[k] == nil {
+			rows[k] = map[Sched]PairResult{}
+			order = append(order, k)
+		}
+		rows[k][r.Sched] = r
+	}
+	for _, k := range order {
+		row := []string{fmt.Sprintf("%s vs Thr(%.0fus)", k.app, k.usz)}
+		for _, s := range AllScheds() {
+			row = append(row, report.F(rows[k][s].Efficiency, 2))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: efficiency losses vs direct average 19%% (Timeslice), 10%% (Disengaged TS), 4%% (Disengaged FQ)")
+	return t
+}
+
+// Fig8 reproduces Figure 8: four concurrent applications (Throttle 425us,
+// BinarySearch, DCT, FFT) — per-app slowdowns plus overall efficiency.
+func Fig8(opts Options) *report.Table {
+	thr := workload.Throttle(425*time.Microsecond, 0)
+	bs, _ := workload.ByName("BinarySearch")
+	dct, _ := workload.ByName("DCT")
+	fft, _ := workload.ByName("FFT")
+	specs := []workload.Spec{thr, bs, dct, fft}
+	alone := MeasureAlone(opts, specs...)
+
+	t := report.New("Figure 8: four concurrent applications",
+		"Scheduler", "Throttle(425us)", "BinarySearch", "DCT", "FFT", "efficiency")
+	for _, s := range AllScheds() {
+		res := RunMix(s, opts, alone, specs...)
+		row := []string{s.Label()}
+		for _, sd := range res.Slowdowns {
+			row = append(row, report.X(sd))
+		}
+		row = append(row, report.F(res.Efficiency, 2))
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: average slowdown stays at 4-5x; efficiency loss vs direct is 13%% engaged, 8%%/7%% disengaged")
+	return t
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// fig9Ratios are the Throttle off-period ratios of Figures 9 and 10.
+var fig9Ratios = []float64{0, 0.2, 0.5, 0.8}
+
+// NonsatResult is one nonsaturating scenario outcome.
+type NonsatResult struct {
+	SleepRatio  float64
+	Sched       Sched
+	DCTSlowdown float64
+	ThrSlowdown float64
+	Efficiency  float64
+}
+
+// RunNonsat executes the Section 5.4 scenarios: DCT against a Throttle
+// that sleeps the given fraction of each cycle.
+func RunNonsat(opts Options, ratios []float64, scheds []Sched) []NonsatResult {
+	dct, _ := workload.ByName("DCT")
+	var out []NonsatResult
+	for _, ratio := range ratios {
+		thr := workload.Throttle(425*time.Microsecond, ratio)
+		alone := MeasureAlone(opts, dct, thr)
+		for _, s := range scheds {
+			res := RunMix(s, opts, alone, dct, thr)
+			out = append(out, NonsatResult{
+				SleepRatio: ratio, Sched: s,
+				DCTSlowdown: res.Slowdowns[0], ThrSlowdown: res.Slowdowns[1],
+				Efficiency: res.Efficiency,
+			})
+		}
+	}
+	return out
+}
+
+// Fig9 reproduces Figure 9: fairness for DCT vs a nonsaturating Throttle.
+func Fig9(opts Options) *report.Table {
+	results := RunNonsat(opts, fig9Ratios, AllScheds())
+	t := report.New("Figure 9: nonsaturating workloads — fairness (DCT vs Throttle(425us) with off periods)",
+		"Off ratio", "direct", "Timeslice", "Disengaged TS", "Disengaged FQ")
+	byRatio := map[float64]map[Sched]NonsatResult{}
+	for _, r := range results {
+		if byRatio[r.SleepRatio] == nil {
+			byRatio[r.SleepRatio] = map[Sched]NonsatResult{}
+		}
+		byRatio[r.SleepRatio][r.Sched] = r
+	}
+	for _, ratio := range fig9Ratios {
+		row := []string{fmt.Sprintf("%.0f%%", ratio*100)}
+		for _, s := range AllScheds() {
+			r := byRatio[ratio][s]
+			row = append(row, fmt.Sprintf("%.2f/%.2f", r.DCTSlowdown, r.ThrSlowdown))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("cells are DCT/Throttle slowdowns; under Disengaged FQ the Throttle does not suffer and DCT benefits from its idleness")
+	return t
+}
+
+// Fig10 reproduces Figure 10: efficiency for the same scenarios, plus the
+// loss relative to direct access the paper quotes.
+func Fig10(opts Options) *report.Table {
+	results := RunNonsat(opts, fig9Ratios, AllScheds())
+	t := report.New("Figure 10: nonsaturating workloads — efficiency",
+		"Off ratio", "direct", "Timeslice", "Disengaged TS", "Disengaged FQ", "TS loss", "DTS loss", "DFQ loss")
+	byRatio := map[float64]map[Sched]NonsatResult{}
+	for _, r := range results {
+		if byRatio[r.SleepRatio] == nil {
+			byRatio[r.SleepRatio] = map[Sched]NonsatResult{}
+		}
+		byRatio[r.SleepRatio][r.Sched] = r
+	}
+	for _, ratio := range fig9Ratios {
+		m := byRatio[ratio]
+		row := []string{fmt.Sprintf("%.0f%%", ratio*100)}
+		for _, s := range AllScheds() {
+			row = append(row, report.F(m[s].Efficiency, 2))
+		}
+		base := m[Direct].Efficiency
+		for _, s := range []Sched{TS, DTS, DFQ} {
+			loss := 0.0
+			if base > 0 {
+				loss = 1 - m[s].Efficiency/base
+			}
+			row = append(row, report.Pct(loss))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper at 80%% off: losses vs direct are 36%% (Timeslice), 34%% (Disengaged TS), ~0%% (Disengaged FQ)")
+	return t
+}

@@ -1,0 +1,40 @@
+package exp
+
+import "repro/internal/report"
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(Options) *report.Table
+}
+
+// Registry returns every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "benchmark characteristics (Table 1)", Table1},
+		{"fig2", "request inter-arrival and service CDFs (Figure 2)", Fig2},
+		{"sec3", "direct access vs per-request traps (Section 3)", Sec3Throughput},
+		{"fig4", "standalone overhead per scheduler (Figure 4)", Fig4},
+		{"fig5", "standalone Throttle overhead vs request size (Figure 5)", Fig5},
+		{"fig6", "pairwise fairness (Figure 6)", Fig6},
+		{"fig7", "pairwise concurrency efficiency (Figure 7)", Fig7},
+		{"fig8", "four concurrent applications (Figure 8)", Fig8},
+		{"fig9", "nonsaturating fairness (Figure 9)", Fig9},
+		{"fig10", "nonsaturating efficiency (Figure 10)", Fig10},
+		{"protect", "over-long request protection (Sections 3.1, 6.2)", Protection},
+		{"sec63", "channel allocation DoS protection (Section 6.3)", Sec63DoS},
+		{"ablation-stats", "sampled estimates vs hardware statistics", AblationStats},
+		{"ablation-params", "configuration parameter sweeps", AblationParams},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

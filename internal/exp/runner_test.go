@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func us(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+
+// TestStandaloneDirectMatchesTable1 checks that DCT alone under direct
+// access completes rounds at roughly Table 1's rate.
+func TestStandaloneDirectMatchesTable1(t *testing.T) {
+	spec, ok := workload.ByName("DCT")
+	if !ok {
+		t.Fatal("DCT spec missing")
+	}
+	alone := MeasureAlone(Quick(), spec)[0]
+	if alone <= 0 {
+		t.Fatal("no rounds measured")
+	}
+	lo, hi := us(spec.PaperRoundUS*0.9), us(spec.PaperRoundUS*1.2)
+	if alone < lo || alone > hi {
+		t.Errorf("DCT standalone round = %v, want within [%v, %v]", alone, lo, hi)
+	}
+}
+
+// TestPairFairnessUnderDTS checks that two saturating apps each slow to
+// roughly 2x under Disengaged Timeslice.
+func TestPairFairnessUnderDTS(t *testing.T) {
+	dct, _ := workload.ByName("DCT")
+	thr := workload.Throttle(425*time.Microsecond, 0)
+	opts := Quick()
+	alone := MeasureAlone(opts, dct, thr)
+	res := RunMix(DTS, opts, alone, dct, thr)
+	for i, s := range res.Slowdowns {
+		if s < 1.6 || s > 2.6 {
+			t.Errorf("app %d slowdown = %.2f, want ~2x", i, s)
+		}
+	}
+}
+
+// TestDirectAccessIsUnfair checks the motivating observation: under
+// direct access a large-request Throttle starves a small-request app.
+func TestDirectAccessIsUnfair(t *testing.T) {
+	dct, _ := workload.ByName("DCT")
+	thr := workload.Throttle(1700*time.Microsecond, 0)
+	opts := Quick()
+	alone := MeasureAlone(opts, dct, thr)
+	res := RunMix(Direct, opts, alone, dct, thr)
+	if res.Slowdowns[0] < 4 {
+		t.Errorf("DCT slowdown under direct vs 1.7ms Throttle = %.2f, want >> 2x", res.Slowdowns[0])
+	}
+	if res.Slowdowns[1] > 1.6 {
+		t.Errorf("Throttle slowdown = %.2f, want near 1x", res.Slowdowns[1])
+	}
+}

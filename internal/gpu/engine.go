@@ -1,0 +1,179 @@
+package gpu
+
+import "repro/internal/sim"
+
+// engine is one execution unit of the device. The main engine runs
+// compute and graphics requests, one at a time, cycling round-robin among
+// channels with pending requests and paying a context-switch cost between
+// contexts. The DMA engine runs transfers concurrently with the main
+// engine, which is how direct-access concurrency efficiency can exceed
+// 1.0 in the paper's Figure 7.
+type engine struct {
+	dev      *Device
+	name     string
+	mainUnit bool // true for the exec engine: context-switch costs + graphics penalty
+
+	channels []*Channel
+	rr       int
+	work     *sim.Gate
+
+	current  *Request
+	curGate  *sim.Gate
+	curTimer *sim.Timer
+	lastCtx  *Context
+
+	busy      sim.Duration
+	busyStart sim.Time
+
+	proc *sim.Proc
+}
+
+func newEngine(dev *Device, name string, mainUnit bool) *engine {
+	en := &engine{dev: dev, name: name, mainUnit: mainUnit}
+	en.work = dev.eng.NewGate(name + "-work")
+	en.proc = dev.eng.Spawn(name, en.run)
+	return en
+}
+
+func (en *engine) addChannel(ch *Channel) {
+	en.channels = append(en.channels, ch)
+}
+
+func (en *engine) removeChannel(ch *Channel) {
+	for i, c := range en.channels {
+		if c == ch {
+			en.channels = append(en.channels[:i], en.channels[i+1:]...)
+			break
+		}
+	}
+	if en.rr >= len(en.channels) {
+		en.rr = 0
+	}
+}
+
+// kick wakes the engine after new work arrives.
+func (en *engine) kick() { en.work.Broadcast() }
+
+func (en *engine) run(p *sim.Proc) {
+	for {
+		ch := en.pickNext()
+		if ch == nil {
+			p.Wait(en.work)
+			continue
+		}
+		if en.mainUnit && ch.Ctx != en.lastCtx {
+			p.Sleep(en.dev.cost.ContextSwitch)
+			en.lastCtx = ch.Ctx
+			// The world may have changed during the switch (context
+			// killed, ring drained); start over.
+			if ch.Ctx.dead || len(ch.ring) == 0 {
+				continue
+			}
+		}
+		req := ch.ring[0]
+		ch.ring = ch.ring[1:]
+		en.execute(p, req)
+	}
+}
+
+// ready reports whether a channel has runnable work.
+func ready(ch *Channel) bool { return !ch.Ctx.dead && len(ch.ring) > 0 }
+
+// pickNext chooses the next channel to serve. Uniform round-robin, except
+// that with GraphicsPenalty > 1 a graphics channel competing with
+// non-graphics work is only served once per penalty passes — the
+// non-uniform internal arbitration the paper observed for OpenGL clients.
+func (en *engine) pickNext() *Channel {
+	n := len(en.channels)
+	if n == 0 {
+		return nil
+	}
+	penalty := en.dev.cfg.GraphicsPenalty
+	hasNonGfx := false
+	if en.mainUnit && penalty > 1 {
+		for _, ch := range en.channels {
+			if ready(ch) && ch.Kind != Graphics {
+				hasNonGfx = true
+				break
+			}
+		}
+	}
+	fallback := -1
+	for i := 0; i < n; i++ {
+		idx := (en.rr + i) % n
+		ch := en.channels[idx]
+		if !ready(ch) {
+			continue
+		}
+		if fallback < 0 {
+			fallback = idx
+		}
+		if en.mainUnit && penalty > 1 && ch.Kind == Graphics && hasNonGfx {
+			if ch.skips < penalty-1 {
+				ch.skips++
+				continue
+			}
+			ch.skips = 0
+		}
+		en.rr = (idx + 1) % n
+		return ch
+	}
+	if fallback >= 0 {
+		// Every ready channel was a penalized graphics channel this pass;
+		// serve one anyway rather than idling a busy device.
+		en.rr = (fallback + 1) % n
+		return en.channels[fallback]
+	}
+	return nil
+}
+
+// execute runs one request to completion (or abort). Requests of size
+// Forever never finish on their own: the engine occupies the device until
+// the owning context is killed.
+func (en *engine) execute(p *sim.Proc, r *Request) {
+	r.Started = p.Now()
+	en.current = r
+	en.busyStart = r.Started
+	g := en.dev.eng.NewGate("exec-done")
+	if r.Size < Forever {
+		en.curTimer = en.dev.eng.After(r.Size, g.Open)
+	} else {
+		en.curTimer = nil
+	}
+	en.curGate = g
+	p.Wait(g)
+
+	end := p.Now()
+	en.busy += end.Sub(r.Started)
+	r.ch.Ctx.BusyTime += end.Sub(r.Started)
+	en.current = nil
+	en.curGate = nil
+	en.curTimer = nil
+	if r.Aborted {
+		r.done.Open()
+		return
+	}
+	r.Completed = end
+	r.ch.RefCount = r.Ref
+	r.ch.Completions++
+	r.done.Open()
+}
+
+// abortIfContext aborts the in-flight request if it belongs to ctx.
+func (en *engine) abortIfContext(ctx *Context) {
+	if en.current != nil && en.current.ch.Ctx == ctx {
+		en.current.Aborted = true
+		if en.curTimer != nil {
+			en.curTimer.Stop()
+		}
+		en.curGate.Open()
+	}
+}
+
+func (en *engine) totalBusy() sim.Duration {
+	b := en.busy
+	if en.current != nil {
+		b += en.dev.eng.Now().Sub(en.busyStart)
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestAllGraphicsNoLivelock: when every ready channel is a penalized
+// graphics channel, the arbiter must serve one rather than idle.
+func TestAllGraphicsNoLivelock(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.GraphicsPenalty = 3
+	d := New(e, cfg)
+	c1 := mustCtx(t, d, 1)
+	c2 := mustCtx(t, d, 2)
+	g1 := mustChan(t, d, c1, Graphics)
+	g2 := mustChan(t, d, c2, Graphics)
+	submit(e, g1, 10*time.Microsecond, Graphics)
+	submit(e, g2, 10*time.Microsecond, Graphics)
+	e.RunFor(time.Millisecond)
+	if g1.Completions != 1 || g2.Completions != 1 {
+		t.Fatalf("graphics-only workload starved: %d/%d", g1.Completions, g2.Completions)
+	}
+}
+
+// TestPenaltySkipsResetWhenServed: a penalized channel eventually served
+// alone must not carry stale skip counts that starve it later.
+func TestPenaltyEventuallyServes(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.GraphicsPenalty = 3
+	d := New(e, cfg)
+	cg := mustCtx(t, d, 1)
+	cc := mustCtx(t, d, 2)
+	gfx := mustChan(t, d, cg, Graphics)
+	cmp := mustChan(t, d, cc, Compute)
+	e.Spawn("both", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			r := gfx.Stage(10*time.Microsecond, Graphics)
+			gfx.Reg.Store(p, r.Ref)
+			r2 := cmp.Stage(10*time.Microsecond, Compute)
+			cmp.Reg.Store(p, r2.Ref)
+		}
+	})
+	e.Run()
+	if gfx.Completions != 30 || cmp.Completions != 30 {
+		t.Fatalf("work lost: gfx=%d cmp=%d", gfx.Completions, cmp.Completions)
+	}
+}
+
+// TestChannelRemovalMidBacklog: killing a context while its channel has
+// a backlog must not derail service of the other channels.
+func TestChannelRemovalMidBacklog(t *testing.T) {
+	e, d := testDev(t)
+	doomed := mustCtx(t, d, 1)
+	healthy := mustCtx(t, d, 2)
+	dch := mustChan(t, d, doomed, Compute)
+	hch := mustChan(t, d, healthy, Compute)
+	e.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			r := dch.Stage(50*time.Microsecond, Compute)
+			dch.Reg.Store(p, r.Ref)
+			r2 := hch.Stage(50*time.Microsecond, Compute)
+			hch.Reg.Store(p, r2.Ref)
+		}
+	})
+	e.After(200*time.Microsecond, func() { d.KillContext(doomed) })
+	e.Run()
+	if hch.Completions != 20 {
+		t.Fatalf("healthy channel completed %d/20 after co-runner kill", hch.Completions)
+	}
+}
+
+// TestKillDuringContextSwitch: a context killed while the engine is
+// switching to it must not crash or execute dead work.
+func TestKillDuringContextSwitch(t *testing.T) {
+	e, d := testDev(t)
+	a := mustCtx(t, d, 1)
+	b := mustCtx(t, d, 2)
+	ach := mustChan(t, d, a, Compute)
+	bch := mustChan(t, d, b, Compute)
+	submit(e, ach, 20*time.Microsecond, Compute)
+	victim := submit(e, bch, 20*time.Microsecond, Compute)
+	// Kill b exactly while the engine should be switching to it.
+	e.After(sim.Duration(21*time.Microsecond+d.Costs().ContextSwitch), func() {
+		d.KillContext(b)
+	})
+	e.Run()
+	if victim.Completed != 0 && victim.Started != 0 && !victim.Aborted {
+		// Either it squeaked through before the kill (fine) or it must
+		// have been aborted — it must not be lost in limbo.
+		t.Fatalf("victim in limbo: %+v", victim)
+	}
+}
+
+// TestDMAKillAbort: aborting an in-flight DMA transfer via context kill.
+func TestDMAKillAbort(t *testing.T) {
+	e, d := testDev(t)
+	ctx := mustCtx(t, d, 1)
+	dma := mustChan(t, d, ctx, DMA)
+	r := submit(e, dma, Forever, DMA)
+	e.RunFor(time.Millisecond)
+	if r.IsDone() {
+		t.Fatal("infinite DMA finished early")
+	}
+	d.KillContext(ctx)
+	e.RunFor(time.Millisecond)
+	if !r.Aborted {
+		t.Fatal("in-flight DMA not aborted by exit protocol")
+	}
+}
+
+// TestIdleEngineWakesOnSubmit: the engine must park when idle and wake
+// promptly for new work (no busy polling, no lost doorbells).
+func TestIdleEngineWakesOnSubmit(t *testing.T) {
+	e, d := testDev(t)
+	ctx := mustCtx(t, d, 1)
+	ch := mustChan(t, d, ctx, Compute)
+	e.RunFor(10 * time.Millisecond) // long idle period
+	r := submit(e, ch, 10*time.Microsecond, Compute)
+	e.RunFor(time.Millisecond)
+	if !r.IsDone() {
+		t.Fatal("doorbell after idle period lost")
+	}
+	wake := r.Started.Sub(r.Submitted)
+	if wake > d.Costs().ContextSwitch+time.Microsecond {
+		t.Fatalf("engine took %v to pick up work after idling", wake)
+	}
+}
+
+// TestStagedRequestsSurviveUnrelatedDoorbell: ringing with an older ref
+// must not submit newer staged work.
+func TestStagedRequestsSurviveUnrelatedDoorbell(t *testing.T) {
+	e, d := testDev(t)
+	ctx := mustCtx(t, d, 1)
+	ch := mustChan(t, d, ctx, Compute)
+	r1 := ch.Stage(10*time.Microsecond, Compute)
+	_ = ch.Stage(10*time.Microsecond, Compute) // staged, never rung
+	e.Spawn("s", func(p *sim.Proc) { ch.Reg.Store(p, r1.Ref) })
+	e.Run()
+	if got := len(ch.StagedRequests()); got != 1 {
+		t.Fatalf("staged = %d, want the unrung request to remain", got)
+	}
+	if ch.LastSubmittedRef != r1.Ref {
+		t.Fatalf("LastSubmittedRef = %d, want %d", ch.LastSubmittedRef, r1.Ref)
+	}
+}

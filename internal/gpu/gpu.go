@@ -1,0 +1,386 @@
+// Package gpu models the computational accelerator of the paper: an
+// Nvidia-Kepler-class GPU that accepts work through per-channel request
+// queues mapped into application address spaces.
+//
+// The model reproduces every device behaviour the paper's schedulers
+// depend on or are confounded by:
+//
+//   - per-context channels, each a FIFO of requests with a channel
+//     register (doorbell) page and a reference counter the device writes
+//     back at each request completion;
+//   - an execution engine that cycles round-robin among channels with
+//     pending requests, paying a context-switch cost between contexts —
+//     including the configurable graphics-arbitration penalty that causes
+//     the paper's glxgears anomaly under Disengaged Fair Queueing;
+//   - a DMA engine that overlaps transfers with computation (the source
+//     of >1.0 concurrency efficiency in Figure 7);
+//   - Turing-complete requests: a request may run forever, and the only
+//     remedy is the exit protocol (killing the owning context);
+//   - finite resources: a 48-context limit and an onboard memory
+//     allocator (the Section 6.3 denial-of-service surface).
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/mmio"
+	"repro/internal/sim"
+)
+
+// TaskID identifies the resource principal (OS process) owning a context.
+type TaskID int
+
+// Kind classifies requests and the channels that carry them.
+type Kind int
+
+const (
+	// Compute is a CUDA/OpenCL-style compute request.
+	Compute Kind = iota
+	// Graphics is a rendering request.
+	Graphics
+	// DMA is a host/device transfer; it runs on the copy engine and may
+	// overlap with Compute/Graphics execution.
+	DMA
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Graphics:
+		return "graphics"
+	case DMA:
+		return "dma"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Forever is a request size that never completes on its own — the
+// infinite-loop kernel of the paper's denial-of-service discussion.
+const Forever sim.Duration = 1 << 62
+
+// Errors returned by resource allocation.
+var (
+	ErrNoContexts   = errors.New("gpu: out of contexts")
+	ErrNoMemory     = errors.New("gpu: out of device memory")
+	ErrContextDead  = errors.New("gpu: context is dead")
+	ErrDeviceClosed = errors.New("gpu: device closed")
+)
+
+// Config sets the device's capacity and arbitration behaviour.
+type Config struct {
+	// MaxContexts is the number of hardware contexts (48 on the GTX670).
+	MaxContexts int
+	// MemoryBytes is onboard RAM (2 GiB on the GTX670).
+	MemoryBytes int64
+	// GraphicsPenalty models non-uniform internal arbitration: a graphics
+	// channel is served once for every GraphicsPenalty passes over it when
+	// competing with non-graphics channels. 1 means uniform round-robin.
+	GraphicsPenalty int
+	// Costs is the platform latency model.
+	Costs cost.Model
+}
+
+// DefaultConfig returns the GTX670-calibrated configuration with uniform
+// arbitration.
+func DefaultConfig() Config {
+	return Config{
+		MaxContexts:     48,
+		MemoryBytes:     2 << 30,
+		GraphicsPenalty: 1,
+		Costs:           cost.Default(),
+	}
+}
+
+// Request is one unit of work submitted to a channel.
+type Request struct {
+	ID   uint64
+	Ref  uint64 // reference-counter value written at completion
+	Size sim.Duration
+	Kind Kind
+
+	Submitted sim.Time
+	Started   sim.Time
+	Completed sim.Time
+	Aborted   bool
+
+	ch   *Channel
+	done *sim.Gate
+}
+
+// Channel returns the channel the request was submitted to.
+func (r *Request) Channel() *Channel { return r.ch }
+
+// DoneGate returns the gate opened when the request completes or aborts.
+// User-space completion polling is modeled as waiting on this gate: it
+// costs nothing and involves no kernel interaction, exactly like spinning
+// on the reference counter in shared memory.
+func (r *Request) DoneGate() *sim.Gate { return r.done }
+
+// IsDone reports whether the request has completed or been aborted.
+func (r *Request) IsDone() bool { return r.Completed != 0 || r.Aborted }
+
+// Context is a GPU address space holding channels whose requests may be
+// causally related. It belongs to one task.
+type Context struct {
+	ID       int
+	Owner    TaskID
+	Label    string
+	dev      *Device
+	channels []*Channel
+	dead     bool
+
+	// BusyTime is cumulative engine time consumed by this context's
+	// requests. This is the "hardware statistic" the paper wishes vendors
+	// exported; only the oracle scheduler variant may read it.
+	BusyTime sim.Duration
+}
+
+// Dead reports whether the context has been torn down.
+func (c *Context) Dead() bool { return c.dead }
+
+// Channels returns the context's channels.
+func (c *Context) Channels() []*Channel { return c.channels }
+
+// Channel is a GPU request queue: ring buffer, command buffer, channel
+// register page, and reference counter.
+type Channel struct {
+	ID   int
+	Ctx  *Context
+	Kind Kind
+
+	// Reg is the doorbell page. Stores to it (possibly faulting) are how
+	// requests become visible to the device.
+	Reg *mmio.Page
+
+	// RefCount is the device-written reference counter: the Ref of the
+	// most recently completed request. The kernel polling service reads
+	// it; user space spins on it.
+	RefCount uint64
+
+	// LastSubmittedRef is the reference value of the most recent request
+	// to actually reach the ring (doorbell rung). In the real system NEON
+	// discovers it by scanning the command queue (paying
+	// cost.ReengageScan); the field itself is ordinary shared memory.
+	LastSubmittedRef uint64
+
+	// Completions counts completed requests on this channel.
+	Completions int64
+
+	ring    []*Request // submitted, not yet executed
+	staged  []*Request // constructed, doorbell not yet rung
+	nextRef uint64
+	skips   int // graphics-penalty bookkeeping
+}
+
+// Pending returns the number of submitted-but-unfinished requests,
+// including one currently executing.
+func (ch *Channel) Pending() int {
+	n := len(ch.ring)
+	if cur := ch.engine().current; cur != nil && cur.ch == ch {
+		n++
+	}
+	return n
+}
+
+func (ch *Channel) engine() *engine {
+	if ch.Kind == DMA {
+		return ch.Ctx.dev.dmaEngine
+	}
+	return ch.Ctx.dev.execEngine
+}
+
+// Stage constructs a request in the command buffer: user-space work that
+// costs nothing at the device. Ring the doorbell (store to Reg) to submit.
+func (ch *Channel) Stage(size sim.Duration, kind Kind) *Request {
+	ch.nextRef++
+	r := &Request{
+		ID:   ch.Ctx.dev.nextReqID(),
+		Ref:  ch.nextRef,
+		Size: size,
+		Kind: kind,
+		ch:   ch,
+		done: ch.Ctx.dev.eng.NewGate("reqdone"),
+	}
+	ch.staged = append(ch.staged, r)
+	return r
+}
+
+// StagedRequests returns requests constructed in the command buffer whose
+// doorbell has not yet been rung. The kernel may inspect this — it is the
+// command-buffer scan of paper Section 4 (costed via cost.FaultScan).
+func (ch *Channel) StagedRequests() []*Request { return ch.staged }
+
+// Device is the accelerator.
+type Device struct {
+	eng  *sim.Engine
+	cfg  Config
+	cost cost.Model
+
+	contexts  map[int]*Context
+	nextCtxID int
+	nextChID  int
+	reqID     uint64
+
+	execEngine *engine // compute + graphics
+	dmaEngine  *engine // copy engine
+
+	mem *MemoryPool
+
+	// SubmitObserver, if set, is informed of every request that reaches
+	// the device (after any interception). NEON uses it only in tests;
+	// schedulers must not.
+	SubmitObserver func(*Request)
+}
+
+// New creates a device and starts its engines on e.
+func New(e *sim.Engine, cfg Config) *Device {
+	if cfg.MaxContexts <= 0 {
+		cfg.MaxContexts = 48
+	}
+	if cfg.GraphicsPenalty <= 0 {
+		cfg.GraphicsPenalty = 1
+	}
+	d := &Device{
+		eng:      e,
+		cfg:      cfg,
+		cost:     cfg.Costs,
+		contexts: make(map[int]*Context),
+		mem:      NewMemoryPool(cfg.MemoryBytes),
+	}
+	d.execEngine = newEngine(d, "gpu-exec", true)
+	d.dmaEngine = newEngine(d, "gpu-dma", false)
+	return d
+}
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Costs returns the platform latency model in use.
+func (d *Device) Costs() cost.Model { return d.cost }
+
+// Memory returns the onboard memory pool.
+func (d *Device) Memory() *MemoryPool { return d.mem }
+
+// ContextCount returns the number of live contexts.
+func (d *Device) ContextCount() int { return len(d.contexts) }
+
+// Contexts returns the live contexts in creation order.
+func (d *Device) Contexts() []*Context {
+	out := make([]*Context, 0, len(d.contexts))
+	for i := 0; i <= d.nextCtxID; i++ {
+		if c, ok := d.contexts[i]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (d *Device) nextReqID() uint64 {
+	d.reqID++
+	return d.reqID
+}
+
+// CreateContext allocates a hardware context for owner. It fails when the
+// device is out of contexts — the Section 6.3 denial-of-service surface.
+func (d *Device) CreateContext(owner TaskID, label string) (*Context, error) {
+	if len(d.contexts) >= d.cfg.MaxContexts {
+		return nil, ErrNoContexts
+	}
+	c := &Context{ID: d.nextCtxID, Owner: owner, Label: label, dev: d}
+	d.nextCtxID++
+	d.contexts[c.ID] = c
+	return c, nil
+}
+
+// CreateChannel adds a request queue of the given kind to the context.
+// The returned channel's doorbell page is initially present (direct
+// access), matching the vendor stack's default.
+func (d *Device) CreateChannel(c *Context, kind Kind) (*Channel, error) {
+	if c.dead {
+		return nil, ErrContextDead
+	}
+	ch := &Channel{ID: d.nextChID, Ctx: c, Kind: kind}
+	d.nextChID++
+	ch.Reg = mmio.NewPage(fmt.Sprintf("chreg-%d", ch.ID), d.cost, func(value uint64) {
+		d.doorbell(ch, value)
+	})
+	c.channels = append(c.channels, ch)
+	ch.engine().addChannel(ch)
+	return ch, nil
+}
+
+// doorbell is the device-side effect of a store to a channel register:
+// staged requests up to the stored reference value enter the ring.
+func (d *Device) doorbell(ch *Channel, value uint64) {
+	if ch.Ctx.dead {
+		return
+	}
+	now := d.eng.Now()
+	moved := 0
+	for _, r := range ch.staged {
+		if r.Ref > value {
+			break
+		}
+		r.Submitted = now
+		ch.ring = append(ch.ring, r)
+		ch.LastSubmittedRef = r.Ref
+		if d.SubmitObserver != nil {
+			d.SubmitObserver(r)
+		}
+		moved++
+	}
+	ch.staged = ch.staged[moved:]
+	ch.engine().kick()
+}
+
+// KillContext implements the exit protocol: the context is marked dead,
+// queued requests are discarded, an in-flight request is aborted, and
+// channels plus memory return to the free pool. The paper relies on this
+// (via killing the owning process) to recover from over-long requests.
+func (d *Device) KillContext(c *Context) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	for _, ch := range c.channels {
+		for _, r := range ch.ring {
+			r.Aborted = true
+			r.done.Open()
+		}
+		ch.ring = nil
+		for _, r := range ch.staged {
+			r.Aborted = true
+			r.done.Open()
+		}
+		ch.staged = nil
+		ch.engine().removeChannel(ch)
+	}
+	d.execEngine.abortIfContext(c)
+	d.dmaEngine.abortIfContext(c)
+	d.mem.FreeAll(c.Owner)
+	delete(d.contexts, c.ID)
+}
+
+// KillOwner kills every context belonging to the task.
+func (d *Device) KillOwner(owner TaskID) {
+	for _, c := range d.Contexts() {
+		if c.Owner == owner {
+			d.KillContext(c)
+		}
+	}
+}
+
+// TotalBusy returns cumulative execution-engine busy time (including a
+// partially executed in-flight request). Experiments snapshot this at
+// window boundaries to compute utilization.
+func (d *Device) TotalBusy() sim.Duration { return d.execEngine.totalBusy() }
+
+// DMABusy returns cumulative copy-engine busy time.
+func (d *Device) DMABusy() sim.Duration { return d.dmaEngine.totalBusy() }
+
+// CurrentRequest returns the request executing on the main engine, if any.
+func (d *Device) CurrentRequest() *Request { return d.execEngine.current }

@@ -1,0 +1,58 @@
+package gpu
+
+// MemoryPool is the device's onboard RAM accountant. The real device
+// isolates address spaces via the IOMMU; what the OS additionally needs —
+// and what Section 6.3 of the paper sketches — is per-task consumption
+// accounting so one task cannot exhaust the pool.
+type MemoryPool struct {
+	total int64
+	used  int64
+	byOwn map[TaskID]int64
+}
+
+// NewMemoryPool returns a pool of the given capacity in bytes.
+func NewMemoryPool(total int64) *MemoryPool {
+	return &MemoryPool{total: total, byOwn: make(map[TaskID]int64)}
+}
+
+// Total returns pool capacity in bytes.
+func (m *MemoryPool) Total() int64 { return m.total }
+
+// Used returns allocated bytes.
+func (m *MemoryPool) Used() int64 { return m.used }
+
+// UsedBy returns bytes held by one task.
+func (m *MemoryPool) UsedBy(owner TaskID) int64 { return m.byOwn[owner] }
+
+// Alloc reserves size bytes for owner, or fails with ErrNoMemory.
+// If limit > 0, the allocation also fails once the owner's total would
+// exceed limit (the OS-level anti-hoarding policy).
+func (m *MemoryPool) Alloc(owner TaskID, size, limit int64) error {
+	if size < 0 {
+		size = 0
+	}
+	if m.used+size > m.total {
+		return ErrNoMemory
+	}
+	if limit > 0 && m.byOwn[owner]+size > limit {
+		return ErrNoMemory
+	}
+	m.used += size
+	m.byOwn[owner] += size
+	return nil
+}
+
+// Free releases size bytes held by owner.
+func (m *MemoryPool) Free(owner TaskID, size int64) {
+	if size > m.byOwn[owner] {
+		size = m.byOwn[owner]
+	}
+	m.byOwn[owner] -= size
+	m.used -= size
+}
+
+// FreeAll releases everything owner holds (process-exit cleanup).
+func (m *MemoryPool) FreeAll(owner TaskID) {
+	m.used -= m.byOwn[owner]
+	delete(m.byOwn, owner)
+}

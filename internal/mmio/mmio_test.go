@@ -1,0 +1,145 @@
+package mmio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+func testPage(e *sim.Engine) (*Page, *[]uint64) {
+	var delivered []uint64
+	pg := NewPage("test", cost.Default(), func(v uint64) { delivered = append(delivered, v) })
+	return pg, &delivered
+}
+
+func TestDirectStoreCostsDirectWrite(t *testing.T) {
+	e := sim.NewEngine()
+	pg, delivered := testPage(e)
+	var took sim.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		pg.Store(p, 42)
+		took = p.Now().Sub(start)
+	})
+	e.Run()
+	if took != cost.Default().DirectWrite {
+		t.Fatalf("direct store took %v, want %v", took, cost.Default().DirectWrite)
+	}
+	if len(*delivered) != 1 || (*delivered)[0] != 42 {
+		t.Fatalf("delivered = %v", *delivered)
+	}
+	if pg.DirectWrites != 1 || pg.Faults != 0 {
+		t.Fatalf("counters: direct=%d faults=%d", pg.DirectWrites, pg.Faults)
+	}
+}
+
+func TestProtectedStoreFaults(t *testing.T) {
+	e := sim.NewEngine()
+	pg, delivered := testPage(e)
+	pg.SetPresent(false)
+	handled := false
+	pg.SetHandler(func(p *sim.Proc, w Write) {
+		handled = true
+		if w.Value != 7 || w.Page != pg {
+			t.Errorf("handler saw %+v", w)
+		}
+		if len(*delivered) != 0 {
+			t.Error("store reached device before handler returned")
+		}
+	})
+	e.Spawn("w", func(p *sim.Proc) { pg.Store(p, 7) })
+	e.Run()
+	if !handled {
+		t.Fatal("handler not invoked")
+	}
+	if len(*delivered) != 1 {
+		t.Fatal("store not single-stepped to device after handler")
+	}
+	if pg.Faults != 1 {
+		t.Fatalf("Faults = %d, want 1", pg.Faults)
+	}
+}
+
+func TestFaultCostCharged(t *testing.T) {
+	e := sim.NewEngine()
+	pg, _ := testPage(e)
+	pg.SetPresent(false)
+	pg.SetHandler(func(p *sim.Proc, w Write) {})
+	var took sim.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		pg.Store(p, 1)
+		took = p.Now().Sub(start)
+	})
+	e.Run()
+	if took != cost.Default().FaultTrap {
+		t.Fatalf("fault path took %v, want FaultTrap=%v", took, cost.Default().FaultTrap)
+	}
+}
+
+func TestHandlerMayBlockSubmitter(t *testing.T) {
+	e := sim.NewEngine()
+	pg, delivered := testPage(e)
+	pg.SetPresent(false)
+	gate := e.NewGate("allow")
+	pg.SetHandler(func(p *sim.Proc, w Write) { p.Wait(gate) })
+	var doneAt sim.Time
+	e.Spawn("w", func(p *sim.Proc) {
+		pg.Store(p, 9)
+		doneAt = p.Now()
+	})
+	e.After(50*time.Microsecond, gate.Broadcast)
+	e.Run()
+	if len(*delivered) != 1 {
+		t.Fatal("store never delivered")
+	}
+	if doneAt < sim.Time(50*time.Microsecond) {
+		t.Fatalf("store completed at %v, before the scheduler released it", doneAt)
+	}
+}
+
+func TestReprotectionPersistsAcrossStores(t *testing.T) {
+	e := sim.NewEngine()
+	pg, _ := testPage(e)
+	pg.SetPresent(false)
+	pg.SetHandler(func(p *sim.Proc, w Write) {})
+	e.Spawn("w", func(p *sim.Proc) {
+		pg.Store(p, 1)
+		pg.Store(p, 2)
+		pg.Store(p, 3)
+	})
+	e.Run()
+	if pg.Faults != 3 {
+		t.Fatalf("Faults = %d; page must stay protected between stores", pg.Faults)
+	}
+}
+
+func TestUnprotectedAfterDisengage(t *testing.T) {
+	e := sim.NewEngine()
+	pg, _ := testPage(e)
+	pg.SetPresent(false)
+	pg.SetHandler(func(p *sim.Proc, w Write) {})
+	e.Spawn("w", func(p *sim.Proc) {
+		pg.Store(p, 1)
+		pg.SetPresent(true) // disengage
+		pg.Store(p, 2)
+		pg.Store(p, 3)
+	})
+	e.Run()
+	if pg.Faults != 1 || pg.DirectWrites != 2 {
+		t.Fatalf("faults=%d direct=%d, want 1/2", pg.Faults, pg.DirectWrites)
+	}
+}
+
+func TestNilHandlerStillDelivers(t *testing.T) {
+	e := sim.NewEngine()
+	pg, delivered := testPage(e)
+	pg.SetPresent(false)
+	e.Spawn("w", func(p *sim.Proc) { pg.Store(p, 5) })
+	e.Run()
+	if len(*delivered) != 1 {
+		t.Fatal("store with nil handler lost")
+	}
+}

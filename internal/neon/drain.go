@@ -1,0 +1,148 @@
+package neon
+
+import (
+	"repro/internal/sim"
+)
+
+// DrainResult reports the outcome of a drain barrier.
+type DrainResult struct {
+	// Started is when the barrier began.
+	Started sim.Time
+	// DrainedAt maps each task to the virtual time at which its last
+	// outstanding request was observed complete (quantized to the polling
+	// granularity, as in the prototype).
+	DrainedAt map[*Task]sim.Time
+	// Killed lists tasks terminated for exceeding the request run limit.
+	Killed []*Task
+}
+
+// Overuse returns how far past deadline the task's outstanding requests
+// ran, or zero. Timeslice schedulers charge this against future slices.
+func (r DrainResult) Overuse(t *Task, deadline sim.Time) sim.Duration {
+	at, ok := r.DrainedAt[t]
+	if !ok || at <= deadline {
+		return 0
+	}
+	return at.Sub(deadline)
+}
+
+// Drain waits until every outstanding request of the given tasks has
+// completed, as observed through reference counters at the kernel's
+// polling granularity. Callers must first have arranged (via engagement
+// and scheduler policy) that the tasks submit no new work.
+//
+// The post-re-engagement status update is charged here: one ReengageScan
+// per active channel to discover the last submitted reference values.
+//
+// If RequestRunLimit is non-zero and a request occupies the device beyond
+// it, the task owning the currently running context is killed through the
+// exit protocol. The prototype identifies that context as the last token
+// holder (timeslice) or the sampled task; here we consult the device's
+// current request, standing in for the Section 6.2 vendor mechanism to
+// "identify and kill the currently running context".
+func (k *Kernel) Drain(p *sim.Proc, tasks []*Task) DrainResult {
+	res := DrainResult{Started: p.Now(), DrainedAt: make(map[*Task]sim.Time)}
+
+	// Status update: scan every active channel for its last submitted
+	// reference value.
+	targets := make(map[*ChannelState]uint64)
+	for _, t := range tasks {
+		for _, cs := range t.channels {
+			p.Sleep(k.costs.ReengageScan)
+			targets[cs] = cs.Ch.LastSubmittedRef
+		}
+	}
+
+	remaining := make([]*Task, 0, len(tasks))
+	remaining = append(remaining, tasks...)
+	lastProgress := p.Now()
+	var lastSnapshot = k.refSnapshot(remaining)
+
+	for {
+		// Check immediately: draining completes at once if the device is
+		// not working on the tasks' requests.
+		still := remaining[:0]
+		for _, t := range remaining {
+			if !t.Alive {
+				res.DrainedAt[t] = p.Now()
+				continue
+			}
+			if k.taskDrained(t, targets) {
+				res.DrainedAt[t] = p.Now()
+				continue
+			}
+			still = append(still, t)
+		}
+		remaining = still
+		if len(remaining) == 0 {
+			return res
+		}
+
+		if snap := k.refSnapshot(remaining); snap != lastSnapshot {
+			lastSnapshot = snap
+			lastProgress = p.Now()
+		}
+		if k.RequestRunLimit > 0 && p.Now().Sub(lastProgress) > k.RequestRunLimit {
+			if victim := k.runningTask(); victim != nil {
+				k.KillTask(victim, "request exceeded run limit")
+				res.Killed = append(res.Killed, victim)
+			}
+			lastProgress = p.Now()
+		}
+		p.Sleep(k.costs.PollInterval)
+	}
+}
+
+// taskDrained reports whether all of the task's channels have reached
+// their scan targets.
+func (k *Kernel) taskDrained(t *Task, targets map[*ChannelState]uint64) bool {
+	for _, cs := range t.channels {
+		if cs.Ch.RefCount < targets[cs] {
+			return false
+		}
+	}
+	return true
+}
+
+// refSnapshot folds the tasks' reference counters into a single progress
+// fingerprint.
+func (k *Kernel) refSnapshot(tasks []*Task) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, t := range tasks {
+		for _, cs := range t.channels {
+			h ^= cs.Ch.RefCount + uint64(cs.Ch.ID)<<32
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// runningTask returns the task owning the request currently executing on
+// the device's main engine, if any.
+func (k *Kernel) runningTask() *Task {
+	cur := k.dev.CurrentRequest()
+	if cur == nil {
+		return nil
+	}
+	return k.tasks[cur.Channel().Ctx.Owner]
+}
+
+// EnforceRunLimit kills the task owning the currently executing request
+// if that request has occupied the engine beyond RequestRunLimit. This is
+// the barrier-free enforcement path used by schedulers that never drain
+// (oracle fair queueing); it relies on the same identify-the-running-
+// context mechanism as Drain. Returns the killed task, if any.
+func (k *Kernel) EnforceRunLimit() *Task {
+	if k.RequestRunLimit <= 0 {
+		return nil
+	}
+	cur := k.dev.CurrentRequest()
+	if cur == nil || k.eng.Now().Sub(cur.Started) <= k.RequestRunLimit {
+		return nil
+	}
+	t := k.runningTask()
+	if t != nil {
+		k.KillTask(t, "request exceeded run limit")
+	}
+	return t
+}

@@ -1,0 +1,420 @@
+package neon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/mmio"
+	"repro/internal/sim"
+)
+
+// recordingSched is a minimal Scheduler that records events and lets
+// everything run, optionally keeping channels engaged.
+type recordingSched struct {
+	engageAll bool
+	admitted  []*Task
+	exited    []*Task
+	activated []*ChannelState
+	faults    int
+	blockers  map[*Task]bool // tasks whose faults should block
+}
+
+func (r *recordingSched) Name() string         { return "recording" }
+func (r *recordingSched) Start(*Kernel)        {}
+func (r *recordingSched) TaskAdmitted(t *Task) { r.admitted = append(r.admitted, t) }
+func (r *recordingSched) TaskExited(t *Task)   { r.exited = append(r.exited, t) }
+func (r *recordingSched) ChannelActivated(cs *ChannelState) {
+	r.activated = append(r.activated, cs)
+	cs.Ch.Reg.SetPresent(!r.engageAll)
+}
+func (r *recordingSched) HandleFault(p *sim.Proc, t *Task, cs *ChannelState) {
+	r.faults++
+	if r.blockers != nil && r.blockers[t] {
+		p.WaitFor(t.Gate(), func() bool { return !t.Alive || !r.blockers[t] })
+	}
+}
+
+func testKernel(t *testing.T, sched Scheduler) (*sim.Engine, *gpu.Device, *Kernel) {
+	t.Helper()
+	e := sim.NewEngine()
+	d := gpu.New(e, gpu.DefaultConfig())
+	return e, d, NewKernel(d, sched)
+}
+
+// openChannel creates a task with one compute channel, from inside a
+// task process, and returns both once setup completes.
+func openChannel(t *testing.T, e *sim.Engine, k *Kernel) (*Task, *ChannelState) {
+	t.Helper()
+	task := k.NewTask("t")
+	var cs *ChannelState
+	task.Go("setup", func(p *sim.Proc) {
+		ctx, err := k.CreateContext(p, task, "ctx")
+		if err != nil {
+			t.Errorf("CreateContext: %v", err)
+			return
+		}
+		cs, err = k.CreateChannel(p, task, ctx, gpu.Compute)
+		if err != nil {
+			t.Errorf("CreateChannel: %v", err)
+		}
+	})
+	e.RunFor(time.Millisecond)
+	if cs == nil {
+		t.Fatal("channel setup did not finish")
+	}
+	return task, cs
+}
+
+func TestInitializationPhaseTracksChannels(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	if len(sched.admitted) != 1 || sched.admitted[0] != task {
+		t.Fatal("TaskAdmitted not delivered")
+	}
+	if len(sched.activated) != 1 || sched.activated[0] != cs {
+		t.Fatal("ChannelActivated not delivered")
+	}
+	if !cs.Active {
+		t.Fatal("channel not marked active after init phase")
+	}
+	if len(task.Channels()) != 1 || len(task.Contexts()) != 1 {
+		t.Fatal("task bookkeeping wrong")
+	}
+}
+
+func TestEngagedSubmissionFaultsIntoScheduler(t *testing.T) {
+	sched := &recordingSched{engageAll: true}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		r := cs.Ch.Stage(10*time.Microsecond, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+	})
+	e.RunFor(time.Millisecond)
+	if sched.faults != 1 || cs.Faults != 1 || k.TotalFaults != 1 {
+		t.Fatalf("fault counts: sched=%d cs=%d kernel=%d", sched.faults, cs.Faults, k.TotalFaults)
+	}
+}
+
+func TestDisengagedSubmissionBypassesKernel(t *testing.T) {
+	sched := &recordingSched{engageAll: false}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			r := cs.Ch.Stage(10*time.Microsecond, gpu.Compute)
+			cs.Ch.Reg.Store(p, r.Ref)
+			p.Wait(r.DoneGate())
+		}
+	})
+	e.RunFor(time.Millisecond)
+	if k.TotalFaults != 0 {
+		t.Fatalf("disengaged task faulted %d times", k.TotalFaults)
+	}
+	if cs.Ch.Completions != 5 {
+		t.Fatalf("completions = %d", cs.Ch.Completions)
+	}
+}
+
+func TestEngageDisengageFlipsProtection(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	if !cs.Ch.Reg.Present() {
+		t.Fatal("channel should start direct-mapped under this policy")
+	}
+	k.Engage(task)
+	if cs.Ch.Reg.Present() {
+		t.Fatal("Engage did not protect the page")
+	}
+	k.Disengage(task)
+	if !cs.Ch.Reg.Present() {
+		t.Fatal("Disengage did not unprotect the page")
+	}
+}
+
+func TestFaultCostsChargedToSubmitter(t *testing.T) {
+	sched := &recordingSched{engageAll: true}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	var took sim.Duration
+	task.Go("work", func(p *sim.Proc) {
+		start := p.Now()
+		r := cs.Ch.Stage(10*time.Microsecond, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+		took = p.Now().Sub(start)
+	})
+	e.RunFor(time.Millisecond)
+	want := k.Costs().InterceptCost()
+	if took != want {
+		t.Fatalf("intercepted store took %v, want %v", took, want)
+	}
+}
+
+func TestDrainWaitsForOutstanding(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		r := cs.Ch.Stage(500*time.Microsecond, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+	})
+	var res DrainResult
+	e.Spawn("sched", func(p *sim.Proc) {
+		p.Sleep(50 * time.Microsecond) // let the request start
+		res = k.Drain(p, []*Task{task})
+	})
+	e.RunFor(10 * time.Millisecond)
+	at, ok := res.DrainedAt[task]
+	if !ok {
+		t.Fatal("drain never completed")
+	}
+	// Completion at ~500us, observed at the next poll tick.
+	if at < sim.Time(500*time.Microsecond) {
+		t.Fatalf("drained at %v, before the request finished", at)
+	}
+	if at > sim.Time(500*time.Microsecond+2*k.Costs().PollInterval) {
+		t.Fatalf("drained at %v, more than 2 poll ticks late", at)
+	}
+}
+
+func TestDrainImmediateWhenIdle(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	task, _ := openChannel(t, e, k)
+	var took sim.Duration
+	e.Spawn("sched", func(p *sim.Proc) {
+		start := p.Now()
+		k.Drain(p, []*Task{task})
+		took = p.Now().Sub(start)
+	})
+	e.RunFor(time.Millisecond)
+	if took > 100*time.Microsecond {
+		t.Fatalf("idle drain took %v; should complete immediately", took)
+	}
+}
+
+func TestDrainOveruseCharge(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		r := cs.Ch.Stage(2*time.Millisecond, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+	})
+	var res DrainResult
+	var deadline sim.Time
+	e.Spawn("sched", func(p *sim.Proc) {
+		p.Sleep(100 * time.Microsecond)
+		deadline = p.Now() // pretend the slice ended now
+		res = k.Drain(p, []*Task{task})
+	})
+	e.RunFor(10 * time.Millisecond)
+	over := res.Overuse(task, deadline)
+	// The request runs ~1.9ms past the deadline.
+	if over < 1800*time.Microsecond || over > 2*time.Millisecond+2*k.Costs().PollInterval {
+		t.Fatalf("overuse = %v, want ~1.9ms", over)
+	}
+	if res.Overuse(task, deadline+sim.Time(time.Hour)) != 0 {
+		t.Fatal("overuse after generous deadline should be 0")
+	}
+}
+
+func TestDrainKillsHungTask(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	k.RequestRunLimit = 5 * time.Millisecond
+	attacker, acs := openChannel(t, e, k)
+	victim, vcs := openChannel(t, e, k)
+	attacker.Go("attack", func(p *sim.Proc) {
+		r := acs.Ch.Stage(gpu.Forever, gpu.Compute)
+		acs.Ch.Reg.Store(p, r.Ref)
+	})
+	victim.Go("work", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		r := vcs.Ch.Stage(10*time.Microsecond, gpu.Compute)
+		vcs.Ch.Reg.Store(p, r.Ref)
+	})
+	var res DrainResult
+	e.Spawn("sched", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		res = k.Drain(p, []*Task{attacker, victim})
+	})
+	e.RunFor(100 * time.Millisecond)
+	if attacker.Alive {
+		t.Fatal("hung task not killed")
+	}
+	if len(res.Killed) != 1 || res.Killed[0] != attacker {
+		t.Fatalf("Killed = %v", res.Killed)
+	}
+	if !victim.Alive {
+		t.Fatal("innocent task killed")
+	}
+	if _, ok := res.DrainedAt[victim]; !ok {
+		t.Fatal("victim never drained after the kill")
+	}
+	if k.Kills != 1 {
+		t.Fatalf("Kills = %d", k.Kills)
+	}
+}
+
+func TestSampleMeasuresServiceTimes(t *testing.T) {
+	sched := &recordingSched{engageAll: true}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		for i := 0; i < 100 && task.Alive; i++ {
+			r := cs.Ch.Stage(50*time.Microsecond, gpu.Compute)
+			cs.Ch.Reg.Store(p, r.Ref)
+			p.Wait(r.DoneGate())
+		}
+	})
+	var res SampleResult
+	e.Spawn("sched", func(p *sim.Proc) {
+		res = k.Sample(p, task, 5*time.Millisecond, 8)
+	})
+	e.RunFor(20 * time.Millisecond)
+	if len(res.Sizes) != 8 {
+		t.Fatalf("sampled %d requests, want 8 (early stop)", len(res.Sizes))
+	}
+	if res.Mean() != 50*time.Microsecond {
+		t.Fatalf("mean = %v, want 50us", res.Mean())
+	}
+}
+
+func TestSampleTimesOutOnIdleTask(t *testing.T) {
+	sched := &recordingSched{engageAll: true}
+	e, _, k := testKernel(t, sched)
+	task, _ := openChannel(t, e, k)
+	var res SampleResult
+	e.Spawn("sched", func(p *sim.Proc) {
+		res = k.Sample(p, task, 2*time.Millisecond, 8)
+	})
+	e.RunFor(10 * time.Millisecond)
+	if len(res.Sizes) != 0 {
+		t.Fatalf("sampled %d from an idle task", len(res.Sizes))
+	}
+	if res.Elapsed != 2*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want the full window", res.Elapsed)
+	}
+	if res.Mean() != 0 {
+		t.Fatal("mean of nothing should be 0")
+	}
+	if e.LiveProcs() > 2 { // task setup proc finished; work proc none
+		t.Fatalf("leaked watcher procs: %d live", e.LiveProcs())
+	}
+}
+
+func TestKillTaskCleansUp(t *testing.T) {
+	sched := &recordingSched{}
+	e, d, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		r := cs.Ch.Stage(gpu.Forever, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+		p.Sleep(time.Hour)
+		t.Error("killed task kept running")
+	})
+	e.RunFor(time.Millisecond)
+	k.KillTask(task, "test")
+	e.RunFor(time.Millisecond)
+	if task.Alive {
+		t.Fatal("task still alive")
+	}
+	if task.ExitReason != "killed: test" {
+		t.Fatalf("ExitReason = %q", task.ExitReason)
+	}
+	if d.ContextCount() != 0 {
+		t.Fatal("contexts not freed")
+	}
+	if len(sched.exited) != 1 {
+		t.Fatal("TaskExited not delivered")
+	}
+	if len(k.Tasks()) != 0 {
+		t.Fatal("dead task still listed")
+	}
+	// Idempotent.
+	k.KillTask(task, "again")
+	if k.Kills != 1 {
+		t.Fatalf("Kills = %d after double kill", k.Kills)
+	}
+}
+
+func TestVoluntaryExit(t *testing.T) {
+	sched := &recordingSched{}
+	e, d, k := testKernel(t, sched)
+	task, _ := openChannel(t, e, k)
+	task.Exit()
+	e.RunFor(time.Millisecond)
+	if task.Alive || task.ExitReason != "exited" {
+		t.Fatalf("alive=%v reason=%q", task.Alive, task.ExitReason)
+	}
+	if d.ContextCount() != 0 {
+		t.Fatal("contexts not freed on exit")
+	}
+	if k.Kills != 0 {
+		t.Fatal("voluntary exit counted as kill")
+	}
+}
+
+func TestChannelPolicyQuotas(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	k.Policy = &ChannelPolicy{MaxChannelsPerTask: 2, MaxTasks: 1}
+	hog := k.NewTask("hog")
+	second := k.NewTask("second")
+	var hogErr, secondErr error
+	hog.Go("main", func(p *sim.Proc) {
+		ctx, _ := k.CreateContext(p, hog, "c")
+		if _, err := k.CreateChannel(p, hog, ctx, gpu.Compute); err != nil {
+			hogErr = err
+			return
+		}
+		if _, err := k.CreateChannel(p, hog, ctx, gpu.DMA); err != nil {
+			hogErr = err
+			return
+		}
+		_, hogErr = k.CreateChannel(p, hog, ctx, gpu.Compute) // third: over quota
+	})
+	e.RunFor(time.Millisecond)
+	second.Go("main", func(p *sim.Proc) {
+		_, secondErr = k.CreateContext(p, second, "c")
+	})
+	e.RunFor(time.Millisecond)
+	if hogErr != ErrChannelQuota {
+		t.Fatalf("hog's third channel err = %v, want quota", hogErr)
+	}
+	if secondErr != ErrChannelQuota {
+		t.Fatalf("second task's context err = %v, want quota (MaxTasks=1)", secondErr)
+	}
+}
+
+func TestBlockedFaultDelaysSubmission(t *testing.T) {
+	sched := &recordingSched{engageAll: true, blockers: map[*Task]bool{}}
+	e, _, k := testKernel(t, sched)
+	task, cs := openChannel(t, e, k)
+	sched.blockers[task] = true
+	var r *gpu.Request
+	task.Go("work", func(p *sim.Proc) {
+		r = cs.Ch.Stage(10*time.Microsecond, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+	})
+	e.RunFor(5 * time.Millisecond)
+	if r.IsDone() {
+		t.Fatal("blocked submission reached the device")
+	}
+	sched.blockers[task] = false
+	task.Gate().Broadcast()
+	e.RunFor(5 * time.Millisecond)
+	if !r.IsDone() {
+		t.Fatal("released submission never completed")
+	}
+}
+
+func TestMMIOWriteTypeVisible(t *testing.T) {
+	// Compile-time sanity: the kernel handler signature matches mmio.
+	var h mmio.FaultHandler = func(p *sim.Proc, w mmio.Write) {}
+	_ = h
+}

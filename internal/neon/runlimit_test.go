@@ -1,0 +1,80 @@
+package neon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+func TestEnforceRunLimitKillsLongRunner(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	k.RequestRunLimit = 2 * time.Millisecond
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		r := cs.Ch.Stage(gpu.Forever, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+	})
+	e.RunFor(time.Millisecond)
+	if k.EnforceRunLimit() != nil {
+		t.Fatal("killed before the limit elapsed")
+	}
+	e.RunFor(5 * time.Millisecond)
+	if got := k.EnforceRunLimit(); got != task {
+		t.Fatalf("EnforceRunLimit = %v, want the hung task", got)
+	}
+	if task.Alive {
+		t.Fatal("task still alive")
+	}
+}
+
+func TestEnforceRunLimitIgnoresShortRequests(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	k.RequestRunLimit = 2 * time.Millisecond
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		for task.Alive {
+			r := cs.Ch.Stage(100*time.Microsecond, gpu.Compute)
+			cs.Ch.Reg.Store(p, r.Ref)
+			p.Wait(r.DoneGate())
+		}
+	})
+	for i := 1; i <= 20; i++ {
+		e.After(sim.Duration(i)*time.Millisecond, func() {
+			if k.EnforceRunLimit() != nil {
+				t.Error("well-behaved task killed")
+			}
+		})
+	}
+	e.RunFor(25 * time.Millisecond)
+	if !task.Alive {
+		t.Fatal("task died")
+	}
+}
+
+func TestEnforceRunLimitDisabledByZero(t *testing.T) {
+	sched := &recordingSched{}
+	e, _, k := testKernel(t, sched)
+	k.RequestRunLimit = 0
+	task, cs := openChannel(t, e, k)
+	task.Go("work", func(p *sim.Proc) {
+		r := cs.Ch.Stage(gpu.Forever, gpu.Compute)
+		cs.Ch.Reg.Store(p, r.Ref)
+	})
+	e.RunFor(50 * time.Millisecond)
+	if k.EnforceRunLimit() != nil {
+		t.Fatal("limit 0 must disable killing")
+	}
+}
+
+func TestEnforceRunLimitIdleDevice(t *testing.T) {
+	sched := &recordingSched{}
+	_, _, k := testKernel(t, sched)
+	k.RequestRunLimit = time.Millisecond
+	if k.EnforceRunLimit() != nil {
+		t.Fatal("nothing to kill on an idle device")
+	}
+}

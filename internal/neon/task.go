@@ -1,0 +1,112 @@
+package neon
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Task is the resource principal to which fair service is provided — an
+// OS process in the prototype. It owns GPU contexts and channels, runs
+// one or more simulated processes (threads), and carries the accounting
+// state the schedulers maintain for it.
+type Task struct {
+	ID    gpu.TaskID
+	Name  string
+	Alive bool
+
+	// ExitReason records how the task ended ("exited" or "killed: ...").
+	ExitReason string
+
+	kernel   *Kernel
+	procs    []*sim.Proc
+	contexts []*gpu.Context
+	channels []*ChannelState
+
+	// gate is broadcast whenever scheduler state affecting this task
+	// changes; blocked fault handlers re-check their predicates on it.
+	gate *sim.Gate
+
+	// sample is the in-progress sampling run, if any.
+	sample *sampleState
+
+	// Sched is scratch space for the attached scheduler's per-task state
+	// (virtual times, overuse, token bookkeeping). Owned by the scheduler.
+	Sched any
+}
+
+// Go spawns a thread of this task. Threads are registered so that killing
+// the task unwinds them.
+func (t *Task) Go(name string, body func(p *sim.Proc)) *sim.Proc {
+	p := t.kernel.eng.Spawn(t.Name+"/"+name, body)
+	t.procs = append(t.procs, p)
+	return p
+}
+
+// Gate returns the task's scheduler wait gate. Scheduler implementations
+// block faulting processes on it and broadcast it on state changes.
+func (t *Task) Gate() *sim.Gate { return t.gate }
+
+// Channels returns the kernel's per-channel state for this task.
+func (t *Task) Channels() []*ChannelState { return t.channels }
+
+// Contexts returns the task's GPU contexts.
+func (t *Task) Contexts() []*gpu.Context { return t.contexts }
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.kernel }
+
+// Exit ends the task voluntarily, releasing all its resources.
+func (t *Task) Exit() { t.exit("exited") }
+
+// exit tears the task down with the given reason.
+func (t *Task) exit(reason string) {
+	if !t.Alive {
+		return
+	}
+	t.Alive = false
+	t.ExitReason = reason
+	for _, p := range t.procs {
+		p.Kill()
+	}
+	t.kernel.dev.KillOwner(t.ID)
+	for _, cs := range t.channels {
+		delete(t.kernel.byPage, cs.Ch.Reg)
+	}
+	t.channels = nil
+	t.contexts = nil
+	// Wake anything blocked on scheduler state for this task.
+	t.gate.Broadcast()
+	t.kernel.sched.TaskExited(t)
+}
+
+// BusyTime returns the task's cumulative device busy time across its
+// contexts. This is the hardware statistic the paper asks vendors to
+// export; only oracle scheduler variants and experiment reporting may
+// read it.
+func (t *Task) BusyTime() sim.Duration {
+	var b sim.Duration
+	for _, ctx := range t.contexts {
+		b += ctx.BusyTime
+	}
+	return b
+}
+
+// CompletedRequests returns the cumulative completion count across the
+// task's channels, as observable from reference counters.
+func (t *Task) CompletedRequests() int64 {
+	var n int64
+	for _, cs := range t.channels {
+		n += cs.Ch.Completions
+	}
+	return n
+}
+
+// PendingRequests returns the number of submitted-but-unfinished requests
+// across the task's channels.
+func (t *Task) PendingRequests() int {
+	n := 0
+	for _, cs := range t.channels {
+		n += cs.Ch.Pending()
+	}
+	return n
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	tb.AddNote("a footnote with %d args", 2)
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(s, "a-much-longer-name  22") {
+		t.Fatalf("alignment broken:\n%s", s)
+	}
+	if !strings.Contains(s, "note: a footnote with 2 args") {
+		t.Fatal("note missing")
+	}
+	// Header separator matches widest cell.
+	if !strings.Contains(s, strings.Repeat("-", len("a-much-longer-name"))) {
+		t.Fatal("separator not sized to content")
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("T", "A", "B", "C")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F broken")
+	}
+	if X(2.126) != "2.13x" {
+		t.Fatalf("X = %q", X(2.126))
+	}
+	if Pct(0.25) != "25.0%" {
+		t.Fatalf("Pct = %q", Pct(0.25))
+	}
+	if US(1500*time.Nanosecond) != "1.5us" {
+		t.Fatalf("US = %q", US(1500*time.Nanosecond))
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	tb := New("", "A")
+	tb.AddRow("1")
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("empty title rendered")
+	}
+}

@@ -1,0 +1,231 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event queue ordered by
+// (time, insertion sequence). Model code runs either as plain event
+// callbacks or as processes (Proc): goroutines that execute in strict
+// handoff with the engine, so exactly one goroutine is ever runnable and
+// every run of the same model is bit-for-bit identical.
+//
+// All of the NEON reproduction — the GPU device, the interposition kernel
+// module, the schedulers, and the workloads — is built on this package.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since engine start.
+type Time int64
+
+// Duration re-exports time.Duration so model code can use the stdlib
+// constants (time.Microsecond etc.) while staying in virtual time.
+type Duration = time.Duration
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Add returns the time d after t, saturating at MaxTime.
+func (t Time) Add(d Duration) Time {
+	s := t + Time(d)
+	if d >= 0 && s < t {
+		return MaxTime
+	}
+	return s
+}
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Microseconds reports t as floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	t       Time
+	seq     uint64
+	fn      func()
+	stopped *bool // non-nil for cancellable timers
+	index   int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine. Engine methods
+// must only be called from the engine's own goroutine: either from the
+// caller of Run (before/after running), from event callbacks, or from
+// code executing inside a Proc.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  int // live (unfinished) procs, for leak detection
+
+	// stepping guards against re-entrant Run calls.
+	running bool
+
+	// panicked carries a panic raised inside a Proc to the engine
+	// goroutine, where it is re-thrown.
+	panicked any
+	hasPanic bool
+}
+
+// NewEngine returns an engine with the clock at zero and no events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at absolute time t (>= Now). It returns a Timer that
+// can cancel the callback before it fires.
+func (e *Engine) Schedule(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, e.now))
+	}
+	stopped := new(bool)
+	ev := &event{t: t, seq: e.seq, fn: fn, stopped: stopped}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{engine: e, stopped: stopped, when: t}
+}
+
+// After runs fn after duration d. Negative durations fire immediately.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	engine  *Engine
+	stopped *bool
+	when    Time
+}
+
+// Stop cancels the timer. It reports whether the callback had not yet
+// fired (and was therefore prevented from running).
+func (t *Timer) Stop() bool {
+	if *t.stopped {
+		return false
+	}
+	*t.stopped = true
+	return true
+}
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() Time { return t.when }
+
+// Step executes the single next event. It reports false if the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if *ev.stopped {
+			continue
+		}
+		if ev.t < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.t
+		*ev.stopped = true // consumed; Timer.Stop now reports false
+		ev.fn()
+		e.rethrow()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.enter()
+	defer e.leave()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.enter()
+	defer e.leave()
+	for len(e.events) > 0 && e.events[0].t <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Pending returns the number of queued (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !*ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs returns the number of spawned processes that have not yet
+// finished. Useful for leak detection in tests.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+func (e *Engine) enter() {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+}
+
+func (e *Engine) leave() { e.running = false }
+
+func (e *Engine) rethrow() {
+	if e.hasPanic {
+		p := e.panicked
+		e.hasPanic = false
+		e.panicked = nil
+		panic(p)
+	}
+}

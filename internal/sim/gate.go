@@ -1,0 +1,80 @@
+package sim
+
+// Gate is a condition-variable-like wakeup point in virtual time.
+//
+// Processes block on a Gate with Proc.Wait or Proc.WaitFor. Wakers call
+// Signal (wake one), Broadcast (wake all), or Open/Close (level-triggered:
+// while open, waits pass immediately). Wakeups are delivered as events at
+// the current virtual time, so a waker never runs a waiter's code inline.
+type Gate struct {
+	engine  *Engine
+	name    string
+	open    bool
+	waiters []*Proc
+}
+
+// NewGate returns a closed gate.
+func (e *Engine) NewGate(name string) *Gate {
+	return &Gate{engine: e, name: name}
+}
+
+// Name returns the gate's name.
+func (g *Gate) Name() string { return g.name }
+
+// IsOpen reports whether the gate is currently open.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Open opens the gate and wakes all current waiters. Future waits pass
+// immediately until Close is called.
+func (g *Gate) Open() {
+	g.open = true
+	g.Broadcast()
+}
+
+// Close closes the gate; future waits will block.
+func (g *Gate) Close() { g.open = false }
+
+// Signal wakes a single waiter (the longest-waiting one), if any.
+func (g *Gate) Signal() {
+	if len(g.waiters) == 0 {
+		return
+	}
+	p := g.waiters[0]
+	g.waiters = g.waiters[1:]
+	g.release(p)
+}
+
+// Broadcast wakes all current waiters.
+func (g *Gate) Broadcast() {
+	ws := g.waiters
+	g.waiters = nil
+	for _, p := range ws {
+		g.release(p)
+	}
+}
+
+// Waiters returns the number of processes currently blocked on the gate.
+func (g *Gate) Waiters() int { return len(g.waiters) }
+
+func (g *Gate) release(p *Proc) {
+	p.gate = nil
+	g.engine.Schedule(g.engine.now, func() { p.activate() })
+}
+
+func (g *Gate) wait(p *Proc) {
+	if g.open {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.gate = g
+	p.block()
+}
+
+func (g *Gate) remove(p *Proc) {
+	for i, w := range g.waiters {
+		if w == p {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "math/rand"
+
+// RNG is a deterministic random source for model code. Every stochastic
+// component (workload jitter, sampling randomization) must draw from an
+// RNG seeded at construction so whole-simulation runs are reproducible.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent deterministic stream, keyed by id, from
+// this generator's seed sequence. Use one stream per task so adding a
+// task does not perturb the others' draws.
+func (g *RNG) Fork(id int64) *RNG {
+	return NewRNG(g.r.Int63() ^ id*0x6A09E667F3BCC909)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+// frac must be in [0, 1].
+func (g *RNG) Jitter(d Duration, frac float64) Duration {
+	if frac <= 0 {
+		return d
+	}
+	scale := 1 + frac*(2*g.r.Float64()-1)
+	return Duration(float64(d) * scale)
+}

@@ -1,0 +1,120 @@
+// Package userlib is the user-level runtime library of the stack — the
+// stand-in for the vendor's CUDA/OpenCL/OpenGL libraries. Applications
+// use it to set up GPU contexts and channels (syscalls, caught by the
+// kernel's initialization phase) and to submit requests through the
+// direct-mapped channel registers (no kernel involvement unless the
+// scheduler has engaged the channel).
+//
+// It also offers a trap-per-request submission mode modeling the
+// alternative stack design (the paper's AMD Catalyst comparison point),
+// used by the Section 3 throughput experiment.
+package userlib
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+)
+
+// Client is a task's handle to the GPU: one context plus one channel per
+// requested kind.
+type Client struct {
+	Task *neon.Task
+	Ctx  *gpu.Context
+
+	kernel   *neon.Kernel
+	channels map[gpu.Kind]*gpu.Channel
+	order    []gpu.Kind
+
+	outstanding []*gpu.Request
+
+	// TrapPerRequest switches submissions to the syscall path: every
+	// request pays a kernel trap (plus driver work if TrapDriverWork),
+	// bypassing the direct-mapped interface entirely.
+	TrapPerRequest bool
+	// TrapDriverWork adds nontrivial driver processing to each trap.
+	TrapDriverWork bool
+}
+
+// Open creates a context and one channel per kind for the task. It is
+// called from the task's own process p and pays the setup syscall costs.
+func Open(p *sim.Proc, k *neon.Kernel, t *neon.Task, label string, kinds ...gpu.Kind) (*Client, error) {
+	ctx, err := k.CreateContext(p, t, label)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		Task:     t,
+		Ctx:      ctx,
+		kernel:   k,
+		channels: make(map[gpu.Kind]*gpu.Channel, len(kinds)),
+	}
+	for _, kind := range kinds {
+		cs, err := k.CreateChannel(p, t, ctx, kind)
+		if err != nil {
+			return nil, err
+		}
+		c.channels[kind] = cs.Ch
+		c.order = append(c.order, kind)
+	}
+	return c, nil
+}
+
+// Channel returns the client's channel of the given kind, or nil.
+func (c *Client) Channel(kind gpu.Kind) *gpu.Channel { return c.channels[kind] }
+
+// Kinds returns the channel kinds the client opened, in creation order.
+func (c *Client) Kinds() []gpu.Kind { return c.order }
+
+// Submit stages a request of the given size on the kind's channel and
+// rings the doorbell. It does not wait for completion. The store may
+// fault (and block p) if the scheduler has engaged the channel.
+func (c *Client) Submit(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
+	ch := c.channels[kind]
+	r := ch.Stage(size, kind)
+	if c.TrapPerRequest {
+		cost := c.kernel.Costs().SyscallTrap
+		if c.TrapDriverWork {
+			cost += c.kernel.Costs().SyscallDriverWork
+		}
+		p.Sleep(cost)
+	}
+	ch.Reg.Store(p, r.Ref)
+	c.outstanding = append(c.outstanding, r)
+	return r
+}
+
+// SubmitSync submits a request and blocks until it completes, like a
+// blocking OpenCL kernel launch. Completion is detected by user-space
+// polling of the reference counter (no kernel involvement).
+func (c *Client) SubmitSync(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
+	r := c.Submit(p, kind, size)
+	c.WaitOne(p, r)
+	return r
+}
+
+// WaitOne blocks until the given request completes or aborts, and
+// retires it from the outstanding set.
+func (c *Client) WaitOne(p *sim.Proc, r *gpu.Request) {
+	p.Wait(r.DoneGate())
+	for i, o := range c.outstanding {
+		if o == r {
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			break
+		}
+	}
+}
+
+// Fence blocks until every outstanding request completes (a frame
+// boundary for graphics pipelines) and returns the drained requests.
+func (c *Client) Fence(p *sim.Proc) []*gpu.Request {
+	reqs := c.outstanding
+	c.outstanding = nil
+	for _, r := range reqs {
+		p.Wait(r.DoneGate())
+	}
+	return reqs
+}
+
+// Outstanding returns requests submitted but not yet fenced.
+func (c *Client) Outstanding() int { return len(c.outstanding) }

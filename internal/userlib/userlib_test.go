@@ -1,0 +1,164 @@
+package userlib
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+)
+
+type passthrough struct{}
+
+func (passthrough) Name() string                                          { return "pass" }
+func (passthrough) Start(*neon.Kernel)                                    {}
+func (passthrough) TaskAdmitted(*neon.Task)                               {}
+func (passthrough) TaskExited(*neon.Task)                                 {}
+func (passthrough) ChannelActivated(cs *neon.ChannelState)                { cs.Ch.Reg.SetPresent(true) }
+func (passthrough) HandleFault(*sim.Proc, *neon.Task, *neon.ChannelState) {}
+
+func stack(t *testing.T) (*sim.Engine, *neon.Kernel) {
+	t.Helper()
+	e := sim.NewEngine()
+	d := gpu.New(e, gpu.DefaultConfig())
+	return e, neon.NewKernel(d, passthrough{})
+}
+
+func TestOpenCreatesChannelsInOrder(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	var c *Client
+	task.Go("main", func(p *sim.Proc) {
+		var err error
+		c, err = Open(p, k, task, "t", gpu.Compute, gpu.Graphics)
+		if err != nil {
+			t.Errorf("Open: %v", err)
+		}
+	})
+	e.RunFor(time.Millisecond)
+	if c == nil {
+		t.Fatal("Open never finished")
+	}
+	kinds := c.Kinds()
+	if len(kinds) != 2 || kinds[0] != gpu.Compute || kinds[1] != gpu.Graphics {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+	if c.Channel(gpu.Compute) == nil || c.Channel(gpu.Graphics) == nil {
+		t.Fatal("channels missing")
+	}
+	if c.Channel(gpu.DMA) != nil {
+		t.Fatal("unrequested channel present")
+	}
+}
+
+func TestOpenPaysSetupCosts(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	var took sim.Duration
+	task.Go("main", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := Open(p, k, task, "t", gpu.Compute); err != nil {
+			t.Errorf("Open: %v", err)
+		}
+		took = p.Now().Sub(start)
+	})
+	e.RunFor(time.Millisecond)
+	perSyscall := k.Costs().SyscallTrap + k.Costs().SyscallDriverWork
+	if took != 2*perSyscall { // context + one channel
+		t.Fatalf("setup took %v, want %v", took, 2*perSyscall)
+	}
+}
+
+func TestSubmitSyncRoundTrip(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	var r *gpu.Request
+	var elapsed sim.Duration
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		start := p.Now()
+		r = c.SubmitSync(p, gpu.Compute, 40*time.Microsecond)
+		elapsed = p.Now().Sub(start)
+		if c.Outstanding() != 0 {
+			t.Error("SubmitSync left the request outstanding")
+		}
+	})
+	e.RunFor(time.Millisecond)
+	if r == nil || !r.IsDone() {
+		t.Fatal("request not completed")
+	}
+	// Submit cost + context switch + execution.
+	want := k.Costs().DirectWrite + k.Costs().ContextSwitch + 40*time.Microsecond
+	if elapsed != want {
+		t.Fatalf("round trip %v, want %v", elapsed, want)
+	}
+}
+
+func TestFenceDrainsAllOutstanding(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		for i := 0; i < 4; i++ {
+			c.Submit(p, gpu.Compute, 25*time.Microsecond)
+		}
+		if c.Outstanding() != 4 {
+			t.Errorf("Outstanding = %d, want 4", c.Outstanding())
+		}
+		reqs := c.Fence(p)
+		if len(reqs) != 4 {
+			t.Errorf("Fence returned %d requests", len(reqs))
+		}
+		for _, r := range reqs {
+			if !r.IsDone() {
+				t.Error("Fence returned an incomplete request")
+			}
+		}
+		if c.Outstanding() != 0 {
+			t.Error("Fence left requests outstanding")
+		}
+	})
+	e.RunFor(time.Millisecond)
+}
+
+func TestTrapPerRequestPaysSyscall(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	var direct, trap, heavy sim.Duration
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		measure := func() sim.Duration {
+			start := p.Now()
+			c.SubmitSync(p, gpu.Compute, 10*time.Microsecond)
+			return p.Now().Sub(start)
+		}
+		measure() // warm up: absorb the initial GPU context switch
+		direct = measure()
+		c.TrapPerRequest = true
+		trap = measure()
+		c.TrapDriverWork = true
+		heavy = measure()
+	})
+	e.RunFor(time.Millisecond)
+	if trap-direct != k.Costs().SyscallTrap {
+		t.Fatalf("trap overhead = %v, want %v", trap-direct, k.Costs().SyscallTrap)
+	}
+	if heavy-trap != k.Costs().SyscallDriverWork {
+		t.Fatalf("driver overhead = %v, want %v", heavy-trap, k.Costs().SyscallDriverWork)
+	}
+}
+
+func TestOpenFailsOverQuota(t *testing.T) {
+	e, k := stack(t)
+	k.Policy = &neon.ChannelPolicy{MaxChannelsPerTask: 1, MaxTasks: 10}
+	task := k.NewTask("t")
+	var err error
+	task.Go("main", func(p *sim.Proc) {
+		_, err = Open(p, k, task, "t", gpu.Compute, gpu.Graphics)
+	})
+	e.RunFor(time.Millisecond)
+	if err != neon.ErrChannelQuota {
+		t.Fatalf("err = %v, want quota violation", err)
+	}
+}

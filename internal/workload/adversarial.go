@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+	"repro/internal/userlib"
+)
+
+// LaunchInfiniteKernel starts the paper's denial-of-service adversary: a
+// task that behaves normally for warmup rounds, then submits a compute
+// request that never terminates. Under direct access this hangs the
+// device; under the protected schedulers the kernel must identify and
+// kill the task.
+func LaunchInfiniteKernel(k *neon.Kernel, warmupRounds int) *App {
+	spec := Spec{Name: "InfiniteKernel", Area: "Adversarial", CPU: 2 * time.Microsecond,
+		Mix: []Req{{Size: 50 * time.Microsecond, Kind: gpu.Compute, Count: 1}}}
+	a := &App{Spec: spec, ready: k.Engine().NewGate("ready-inf")}
+	a.Task = k.NewTask(spec.Name)
+	a.Task.Go("main", func(p *sim.Proc) {
+		client, err := userlib.Open(p, k, a.Task, spec.Name, gpu.Compute)
+		if err != nil {
+			a.setupErr = err
+			a.ready.Open()
+			return
+		}
+		a.ready.Open()
+		for i := 0; i < warmupRounds && a.Task.Alive; i++ {
+			start := p.Now()
+			client.SubmitSync(p, gpu.Compute, 50*time.Microsecond)
+			a.Rounds++
+			a.RoundTime += p.Now().Sub(start)
+		}
+		// The attack: an infinite loop on the device.
+		client.Submit(p, gpu.Compute, gpu.Forever)
+		// Keep "working" so the task looks busy.
+		for a.Task.Alive {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	return a
+}
+
+// HogResult reports what a channel-hog adversary managed to grab.
+type HogResult struct {
+	ContextsCreated int
+	DeniedAt        error // the error that finally stopped it, if any
+}
+
+// LaunchChannelHog starts the Section 6.3 adversary: it greedily creates
+// contexts (each with a compute and a DMA channel, as the paper observed)
+// until the device or the OS policy refuses. The result gate opens when
+// it is done grabbing.
+func LaunchChannelHog(k *neon.Kernel, limit int) (*neon.Task, *HogResult, *sim.Gate) {
+	t := k.NewTask("ChannelHog")
+	res := &HogResult{}
+	done := k.Engine().NewGate("hog-done")
+	t.Go("main", func(p *sim.Proc) {
+		for i := 0; i < limit; i++ {
+			ctx, err := k.CreateContext(p, t, "hog")
+			if err != nil {
+				res.DeniedAt = err
+				break
+			}
+			if _, err := k.CreateChannel(p, t, ctx, gpu.Compute); err != nil {
+				res.DeniedAt = err
+				break
+			}
+			if _, err := k.CreateChannel(p, t, ctx, gpu.DMA); err != nil {
+				res.DeniedAt = err
+				break
+			}
+			res.ContextsCreated++
+		}
+		done.Open()
+		for t.Alive {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	return t, res, done
+}
+
+// GreedyBatcher returns a spec for the paper's introduction adversary: an
+// application that batches its work into very large requests to hog a
+// work-conserving device.
+func GreedyBatcher(batch sim.Duration) Spec {
+	s := Throttle(batch, 0)
+	s.Name = "GreedyBatcher"
+	s.Area = "Adversarial"
+	return s
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/neon"
+	"repro/internal/sim"
+	"repro/internal/userlib"
+)
+
+// App is a running application instance: a kernel task executing its
+// spec's round loop forever (until killed or the simulation stops).
+type App struct {
+	Spec Spec
+	Task *neon.Task
+
+	// Rounds and RoundTime accumulate since the last ResetStats.
+	Rounds    int64
+	RoundTime sim.Duration
+
+	// Observe enables Figure 2 instrumentation.
+	Observe      bool
+	InterArrival metrics.Log2Hist
+	Service      metrics.Log2Hist
+	perKind      map[gpu.Kind]*metrics.Mean
+
+	client     *userlib.Client
+	rng        *sim.RNG
+	lastSubmit sim.Time
+	setupErr   error
+	ready      *sim.Gate
+}
+
+// Launch creates a task named after the spec and starts its round loop.
+// The returned App accumulates statistics as the simulation advances.
+func Launch(k *neon.Kernel, spec Spec, rng *sim.RNG) *App {
+	a := &App{
+		Spec:    spec,
+		rng:     rng,
+		perKind: make(map[gpu.Kind]*metrics.Mean),
+		ready:   k.Engine().NewGate("ready-" + spec.Name),
+	}
+	a.Task = k.NewTask(spec.Name)
+	a.Task.Go("main", func(p *sim.Proc) { a.run(p, k) })
+	return a
+}
+
+// SetupError returns any context/channel allocation failure.
+func (a *App) SetupError() error { return a.setupErr }
+
+// Alive reports whether the app's task is still running.
+func (a *App) Alive() bool { return a.Task.Alive }
+
+// AvgRound returns the mean round time since the last ResetStats.
+func (a *App) AvgRound() sim.Duration {
+	if a.Rounds == 0 {
+		return 0
+	}
+	return a.RoundTime / sim.Duration(a.Rounds)
+}
+
+// MeanRequest returns the observed mean service time on a channel kind.
+func (a *App) MeanRequest(kind gpu.Kind) sim.Duration {
+	if m := a.perKind[kind]; m != nil {
+		return m.Duration()
+	}
+	return 0
+}
+
+// ResetStats clears round and request statistics (for warmup exclusion).
+func (a *App) ResetStats() {
+	a.Rounds = 0
+	a.RoundTime = 0
+	a.InterArrival = metrics.Log2Hist{}
+	a.Service = metrics.Log2Hist{}
+	a.perKind = make(map[gpu.Kind]*metrics.Mean)
+}
+
+func (a *App) run(p *sim.Proc, k *neon.Kernel) {
+	kinds := a.Spec.Channels
+	if len(kinds) == 0 {
+		kinds = []gpu.Kind{gpu.Compute}
+	}
+	client, err := userlib.Open(p, k, a.Task, a.Spec.Name, kinds...)
+	if err != nil {
+		a.setupErr = err
+		a.ready.Open()
+		return
+	}
+	a.client = client
+	a.ready.Open()
+
+	reqs := a.Spec.Requests()
+	for a.Task.Alive {
+		start := p.Now()
+		p.Sleep(a.Spec.CPU)
+
+		var issued []*gpu.Request
+		for _, rq := range reqs {
+			a.noteSubmit(p.Now())
+			switch {
+			case rq.Trivial:
+				// Mode/state-change requests: fire and forget; completion
+				// is never checked by the library.
+				client.Submit(p, rq.Kind, rq.Size)
+			case a.Spec.Pipelined:
+				issued = append(issued, client.Submit(p, rq.Kind, rq.Size))
+			default:
+				r := client.SubmitSync(p, rq.Kind, rq.Size)
+				a.noteDone(r)
+			}
+		}
+		// Frame fence for pipelined apps; for blocking apps this merely
+		// retires any trailing trivial requests (already completed, since
+		// channels process in order).
+		client.Fence(p)
+		for _, r := range issued {
+			a.noteDone(r)
+		}
+
+		// Off-period for nonsaturating workloads: a fixed per-round think
+		// time derived from the *standalone* active time, so contention
+		// stretches the busy part of the cycle but not the idle part.
+		if off := a.Spec.OffTime(); off > 0 {
+			p.Sleep(off)
+		}
+		a.Rounds++
+		a.RoundTime += p.Now().Sub(start)
+	}
+}
+
+func (a *App) noteSubmit(now sim.Time) {
+	if a.Observe && a.lastSubmit != 0 {
+		a.InterArrival.Add(now.Sub(a.lastSubmit))
+	}
+	a.lastSubmit = now
+}
+
+func (a *App) noteDone(r *gpu.Request) {
+	if r.Aborted {
+		return
+	}
+	service := r.Completed.Sub(r.Started)
+	if a.Observe {
+		a.Service.Add(service)
+	}
+	m := a.perKind[r.Kind]
+	if m == nil {
+		m = &metrics.Mean{}
+		a.perKind[r.Kind] = m
+	}
+	m.AddDuration(service)
+}
+
+// WaitReady blocks p until the app's setup syscalls have completed (or
+// failed). Useful in tests that must order setup against assertions.
+func (a *App) WaitReady(p *sim.Proc) { p.Wait(a.ready) }

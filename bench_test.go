@@ -55,13 +55,41 @@ func BenchmarkSec63DoS(b *testing.B)       { benchExperiment(b, "sec63") }
 func BenchmarkAblationStats(b *testing.B)  { benchExperiment(b, "ablation-stats") }
 func BenchmarkAblationParams(b *testing.B) { benchExperiment(b, "ablation-params") }
 
-// BenchmarkSimEngine measures raw event throughput of the simulation
-// substrate: how many scheduled callbacks the engine dispatches per
-// second of wall time.
-func BenchmarkSimEngine(b *testing.B) {
+// benchExperimentAt regenerates one artifact per iteration at a fixed
+// scenario-pool width; comparing widths measures the harness speedup
+// (the fig6 pair is the acceptance gate for the parallel harness).
+func benchExperimentAt(b *testing.B, id string, parallel int) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := benchOpts()
+	opts.Parallel = parallel
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine()
+		table := e.Run(opts)
+		if len(table.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig6Serial(b *testing.B)    { benchExperimentAt(b, "fig6", 1) }
+func BenchmarkFig6Parallel4(b *testing.B) { benchExperimentAt(b, "fig6", 4) }
+func BenchmarkFig4Serial(b *testing.B)    { benchExperimentAt(b, "fig4", 1) }
+func BenchmarkFig4Parallel4(b *testing.B) { benchExperimentAt(b, "fig4", 4) }
+func BenchmarkFig9Serial(b *testing.B)    { benchExperimentAt(b, "fig9", 1) }
+func BenchmarkFig9Parallel4(b *testing.B) { benchExperimentAt(b, "fig9", 4) }
+
+// BenchmarkSimEngine measures raw event throughput of the simulation
+// substrate: how many scheduled callbacks the engine dispatches per
+// second of wall time. The engine is Reset between iterations, so the
+// allocation-free reuse path is what is measured.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
 		n := 0
 		var tick func()
 		tick = func() {

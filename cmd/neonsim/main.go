@@ -5,26 +5,54 @@
 // Usage:
 //
 //	neonsim -list
-//	neonsim -exp fig6            # one experiment, paper-scale windows
-//	neonsim -exp all -quick      # everything, reduced windows
-//	neonsim -exp fig9 -seed 7    # different deterministic seed
+//	neonsim -exp fig6                  # one experiment, paper-scale windows
+//	neonsim -exp all -quick            # everything, reduced windows
+//	neonsim -exp fig9 -seed 7          # different deterministic seed
+//	neonsim -exp all -parallel 4       # bound the scenario worker pool
+//	neonsim -exp all -json BENCH.json  # machine-readable timings
+//
+// Scenarios within each experiment run on a worker pool (-parallel,
+// default NumCPU); the emitted tables are byte-identical at any width.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/exp"
 )
 
+// benchRecord is one experiment's machine-readable timing, for tracking
+// the performance trajectory across PRs (BENCH_*.json).
+type benchRecord struct {
+	Experiment string `json:"experiment"`
+	// WallSeconds is elapsed wall-clock for the whole experiment.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Scenarios is the number of jobs the harness executed.
+	Scenarios int `json:"scenarios"`
+	// ScenarioSeconds is the summed per-job wall time; divided by
+	// WallSeconds it approximates the achieved parallel speedup.
+	ScenarioSeconds float64 `json:"scenario_seconds"`
+	// Throughput is scenarios per wall-clock second.
+	Throughput float64 `json:"scenarios_per_second"`
+	Rows       int     `json:"rows"`
+	Parallel   int     `json:"parallel"`
+	Quick      bool    `json:"quick"`
+	Seed       int64   `json:"seed"`
+}
+
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "use reduced measurement windows")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		seed  = flag.Int64("seed", 1, "deterministic simulation seed")
+		which    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "use reduced measurement windows")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "scenario worker pool width (1 = serial)")
+		jsonOut  = flag.String("json", "", "write per-experiment wall-clock and throughput JSON to this file")
 	)
 	flag.Parse()
 
@@ -40,24 +68,55 @@ func main() {
 		opts = exp.Quick()
 	}
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 
+	var records []benchRecord
 	run := func(e exp.Experiment) {
+		exp.ResetStats()
 		start := time.Now()
 		table := e.Run(opts)
+		wall := time.Since(start)
+		jobs, jobWall := exp.Stats()
 		fmt.Println(table.String())
-		fmt.Printf("  [%s regenerated in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("  [%s: %d scenarios on %d workers in %.1fs wall time]\n\n",
+			e.ID, jobs, opts.Workers(), wall.Seconds())
+		records = append(records, benchRecord{
+			Experiment:      e.ID,
+			WallSeconds:     wall.Seconds(),
+			Scenarios:       jobs,
+			ScenarioSeconds: jobWall.Seconds(),
+			Throughput:      float64(jobs) / wall.Seconds(),
+			Rows:            len(table.Rows),
+			Parallel:        opts.Workers(),
+			Quick:           *quick,
+			Seed:            *seed,
+		})
 	}
 
 	if *which == "all" {
 		for _, e := range exp.Registry() {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := exp.ByID(*which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "neonsim: unknown experiment %q (try -list)\n", *which)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := exp.ByID(*which)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "neonsim: unknown experiment %q (try -list)\n", *which)
-		os.Exit(2)
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "neonsim: encoding bench records: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "neonsim: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [bench records written to %s]\n", *jsonOut)
 	}
-	run(e)
 }

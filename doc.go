@@ -26,7 +26,14 @@
 //
 //	go run ./cmd/neonsim -list
 //	go run ./cmd/neonsim -exp all -quick
+//	go run ./cmd/neonsim -exp all -quick -parallel 8   # same bytes, faster
 //
-// See DESIGN.md for the substitution argument and system inventory, and
-// EXPERIMENTS.md for measured-vs-paper results.
+// Scenarios within each experiment run on a bounded worker pool, one
+// private engine per scenario, with RNG streams keyed by scenario
+// identity — so serial and parallel runs emit byte-identical tables.
+//
+// See DESIGN.md for the substitution argument, system inventory, and
+// harness architecture, and EXPERIMENTS.md for how to regenerate each
+// figure (including the -parallel and -json flags) and what to expect
+// versus the paper.
 package repro

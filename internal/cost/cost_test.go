@@ -1,0 +1,70 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultAllPositive(t *testing.T) {
+	m := Default()
+	for name, d := range map[string]time.Duration{
+		"DirectWrite":       m.DirectWrite,
+		"SyscallTrap":       m.SyscallTrap,
+		"SyscallDriverWork": m.SyscallDriverWork,
+		"FaultTrap":         m.FaultTrap,
+		"FaultScan":         m.FaultScan,
+		"ReengageScan":      m.ReengageScan,
+		"ContextSwitch":     m.ContextSwitch,
+		"PollInterval":      m.PollInterval,
+		"SchedulerCompute":  m.SchedulerCompute,
+	} {
+		if d <= 0 {
+			t.Errorf("%s = %v, want > 0", name, d)
+		}
+	}
+}
+
+func TestInterceptCostIsTrapPlusScan(t *testing.T) {
+	m := Default()
+	if got, want := m.InterceptCost(), m.FaultTrap+m.FaultScan; got != want {
+		t.Fatalf("InterceptCost() = %v, want %v", got, want)
+	}
+	m.FaultTrap = 7 * time.Microsecond
+	m.FaultScan = 11 * time.Microsecond
+	if got := m.InterceptCost(); got != 18*time.Microsecond {
+		t.Fatalf("InterceptCost() = %v after override, want 18us", got)
+	}
+}
+
+// The calibrated model must preserve the orderings the paper's argument
+// rests on: direct stores are far cheaper than any kernel entry, fault
+// interception costs more than a plain trap, and driver work dominates
+// the minimal trap.
+func TestDefaultOrderings(t *testing.T) {
+	m := Default()
+	if m.DirectWrite*10 > m.SyscallTrap {
+		t.Errorf("DirectWrite %v should be well under a syscall trap %v", m.DirectWrite, m.SyscallTrap)
+	}
+	if m.InterceptCost() <= m.SyscallTrap {
+		t.Errorf("fault interception %v should exceed a plain trap %v", m.InterceptCost(), m.SyscallTrap)
+	}
+	if m.SyscallDriverWork <= m.SyscallTrap {
+		t.Errorf("driver work %v should exceed the minimal trap %v", m.SyscallDriverWork, m.SyscallTrap)
+	}
+	if m.PollInterval <= m.InterceptCost() {
+		t.Errorf("polling granularity %v should dwarf per-request interception %v", m.PollInterval, m.InterceptCost())
+	}
+}
+
+// Model is a value type: sweeping one parameter must not alias Default.
+func TestModelIsValueType(t *testing.T) {
+	a := Default()
+	b := a
+	b.PollInterval = 123 * time.Millisecond
+	if a.PollInterval == b.PollInterval {
+		t.Fatal("modifying a copy changed the original model")
+	}
+	if Default().PollInterval == 123*time.Millisecond {
+		t.Fatal("Default() returns shared mutable state")
+	}
+}

@@ -16,10 +16,9 @@ import (
 // AblationStats isolates the cost of software usage estimation (the
 // Section 5.3 limitation and Section 6.1 proposal): the DFQ anomaly pairs
 // run under sampled-estimate DFQ and under the oracle variant that reads
-// vendor-exported per-context busy time.
+// vendor-exported per-context busy time. Each (pair, scheduler) cell is a
+// job; baselines are measured once per distinct spec.
 func AblationStats(opts Options) *report.Table {
-	t := report.New("Ablation: sampled estimates (prototype DFQ) vs hardware statistics (oracle)",
-		"Pair", "DFQ app/thr", "Oracle app/thr", "DFQ gap", "Oracle gap")
 	pairs := []struct {
 		app string
 		usz float64
@@ -28,22 +27,49 @@ func AblationStats(opts Options) *report.Table {
 		{"oclParticles", 425},
 		{"DCT", 425},
 	}
+	type cell struct {
+		spec, thr workload.Spec
+	}
+	var (
+		cells []cell
+		specs []workload.Spec
+	)
 	for _, pr := range pairs {
 		spec, _ := workload.ByName(pr.app)
 		thr := workload.Throttle(time.Duration(pr.usz*float64(time.Microsecond)), 0)
-		alone := MeasureAlone(opts, spec, thr)
-		dfq := RunMix(DFQ, opts, alone, spec, thr)
-		orc := RunMix(Oracle, opts, alone, spec, thr)
-		gap := func(r MixResult) string {
-			hi, lo := r.Slowdowns[0], r.Slowdowns[1]
-			if lo > hi {
-				hi, lo = lo, hi
-			}
-			if lo <= 0 {
-				return "-"
-			}
-			return report.F(hi/lo, 2)
+		cells = append(cells, cell{spec, thr})
+		specs = append(specs, spec, thr)
+	}
+	alone := MeasureBaselines("ablation-stats", opts, specs...)
+
+	scheds := []Sched{DFQ, Oracle}
+	var jobs []Job
+	for i, c := range cells {
+		for j, s := range scheds {
+			jobs = append(jobs, NewJob("ablation-stats", i*len(scheds)+j,
+				fmt.Sprintf("%s vs Thr(%.0fus) under %s", pairs[i].app, pairs[i].usz, s),
+				func(o Options) any {
+					return RunMix(s, o, alone.For(c.spec, c.thr), c.spec, c.thr)
+				}))
 		}
+	}
+	res := RunJobs(opts, jobs)
+
+	t := report.New("Ablation: sampled estimates (prototype DFQ) vs hardware statistics (oracle)",
+		"Pair", "DFQ app/thr", "Oracle app/thr", "DFQ gap", "Oracle gap")
+	gap := func(r MixResult) string {
+		hi, lo := r.Slowdowns[0], r.Slowdowns[1]
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		if lo <= 0 {
+			return "-"
+		}
+		return report.F(hi/lo, 2)
+	}
+	for i, pr := range pairs {
+		dfq := res[i*len(scheds)].Value.(MixResult)
+		orc := res[i*len(scheds)+1].Value.(MixResult)
 		t.AddRow(fmt.Sprintf("%s vs Thr(%.0fus)", pr.app, pr.usz),
 			fmt.Sprintf("%.2f/%.2f", dfq.Slowdowns[0], dfq.Slowdowns[1]),
 			fmt.Sprintf("%.2f/%.2f", orc.Slowdowns[0], orc.Slowdowns[1]),
@@ -54,82 +80,106 @@ func AblationStats(opts Options) *report.Table {
 	return t
 }
 
-// AblationParams sweeps the design parameters DESIGN.md calls out:
-// polling granularity (drain idleness), timeslice length, and the DFQ
-// free-run multiplier, reporting standalone overhead and pair fairness.
-func AblationParams(opts Options) *report.Table {
-	t := report.New("Ablation: configuration parameters",
-		"Variant", "standalone DCT overhead", "pair DCT/Thr(425us)")
-	dct, _ := workload.ByName("DCT")
-	thr := workload.Throttle(425*time.Microsecond, 0)
-	aloneDCT := MeasureAlone(opts, dct)[0]
-	alonePair := MeasureAlone(opts, dct, thr)
+// ablationVariant is one configuration point of the parameter sweep.
+type ablationVariant struct {
+	label string
+	costs cost.Model
+	mk    func() neon.Scheduler
+}
 
-	// Polling granularity sweep (Disengaged Timeslice).
+// ablationVariants enumerates the design parameters DESIGN.md calls out:
+// polling granularity (drain idleness), timeslice length, and the DFQ
+// free-run multiplier.
+func ablationVariants() []ablationVariant {
+	var out []ablationVariant
 	for _, poll := range []sim.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
 		costs := cost.Default()
 		costs.PollInterval = poll
-		sd, pair := ablationRun(opts, costs, func() neon.Scheduler {
-			return core.NewDisengagedTimeslice(core.DefaultSlice)
-		}, dct, thr, aloneDCT, alonePair)
-		t.AddRow(fmt.Sprintf("DTS poll=%v", poll), report.Pct(sd-1), pair)
+		out = append(out, ablationVariant{
+			label: fmt.Sprintf("DTS poll=%v", poll),
+			costs: costs,
+			mk:    func() neon.Scheduler { return core.NewDisengagedTimeslice(core.DefaultSlice) },
+		})
 	}
-	// Timeslice length sweep.
 	for _, slice := range []sim.Duration{10 * time.Millisecond, 30 * time.Millisecond, 90 * time.Millisecond} {
-		sd, pair := ablationRun(opts, cost.Default(), func() neon.Scheduler {
-			return core.NewDisengagedTimeslice(slice)
-		}, dct, thr, aloneDCT, alonePair)
-		t.AddRow(fmt.Sprintf("DTS slice=%v", slice), report.Pct(sd-1), pair)
+		out = append(out, ablationVariant{
+			label: fmt.Sprintf("DTS slice=%v", slice),
+			costs: cost.Default(),
+			mk:    func() neon.Scheduler { return core.NewDisengagedTimeslice(slice) },
+		})
 	}
-	// DFQ free-run multiplier sweep.
 	for _, mult := range []int{2, 5, 10} {
-		cfg := core.DefaultDFQConfig()
-		cfg.FreeRunMultiplier = mult
-		sd, pair := ablationRun(opts, cost.Default(), func() neon.Scheduler {
-			return core.NewDisengagedFairQueueing(cfg)
-		}, dct, thr, aloneDCT, alonePair)
-		t.AddRow(fmt.Sprintf("DFQ freerun=%dx", mult), report.Pct(sd-1), pair)
+		out = append(out, ablationVariant{
+			label: fmt.Sprintf("DFQ freerun=%dx", mult),
+			costs: cost.Default(),
+			mk: func() neon.Scheduler {
+				cfg := core.DefaultDFQConfig()
+				cfg.FreeRunMultiplier = mult
+				return core.NewDisengagedFairQueueing(cfg)
+			},
+		})
+	}
+	return out
+}
+
+// AblationParams sweeps the parameter variants, reporting standalone
+// overhead and pair fairness. Each variant's standalone and pair rigs run
+// as separate jobs against the shared default-cost baselines.
+func AblationParams(opts Options) *report.Table {
+	dct, _ := workload.ByName("DCT")
+	thr := workload.Throttle(425*time.Microsecond, 0)
+	alone := MeasureBaselines("ablation-params", opts, dct, thr)
+	aloneDCT := alone.Of(dct)
+	alonePair := alone.For(dct, thr)
+
+	variants := ablationVariants()
+	var jobs []Job
+	for i, v := range variants {
+		jobs = append(jobs, NewJob("ablation-params", 2*i, v.label+" solo",
+			func(o Options) any { return ablationRun(o, v.costs, v.mk, dct) }))
+		jobs = append(jobs, NewJob("ablation-params", 2*i+1, v.label+" pair",
+			func(o Options) any { return ablationRun(o, v.costs, v.mk, dct, thr) }))
+	}
+	res := RunJobs(opts, jobs)
+
+	t := report.New("Ablation: configuration parameters",
+		"Variant", "standalone DCT overhead", "pair DCT/Thr(425us)")
+	for i, v := range variants {
+		solo := res[2*i].Value.([]sim.Duration)[0]
+		pair := res[2*i+1].Value.([]sim.Duration)
+		sd := float64(solo) / float64(aloneDCT)
+		cell := fmt.Sprintf("%.2f/%.2f",
+			float64(pair[0])/float64(alonePair[0]),
+			float64(pair[1])/float64(alonePair[1]))
+		t.AddRow(v.label, report.Pct(sd-1), cell)
 	}
 	t.AddNote("finer polling shrinks drain idleness; longer slices amortize token passing; longer free runs amortize engagement")
 	return t
 }
 
-// ablationRun builds two custom rigs (standalone and pair) with explicit
-// costs and scheduler constructor, returning standalone slowdown and the
-// pair slowdown cell.
-func ablationRun(opts Options, costs cost.Model, mk func() neon.Scheduler,
-	dct, thr workload.Spec, aloneDCT sim.Duration, alonePair []sim.Duration) (float64, string) {
-
-	run := func(specs ...workload.Spec) []sim.Duration {
-		eng := sim.NewEngine()
-		cfg := gpu.DefaultConfig()
-		cfg.GraphicsPenalty = opts.GraphicsPenalty
-		cfg.Costs = costs
-		dev := gpu.New(eng, cfg)
-		k := neon.NewKernel(dev, mk())
-		k.RequestRunLimit = opts.RunLimit
-		var apps []*workload.App
-		rng := sim.NewRNG(opts.Seed)
-		for i, s := range specs {
-			apps = append(apps, workload.Launch(k, s, rng.Fork(int64(i))))
-		}
-		eng.RunFor(opts.Warmup)
-		for _, a := range apps {
-			a.ResetStats()
-		}
-		eng.RunFor(opts.Measure)
-		out := make([]sim.Duration, len(apps))
-		for i, a := range apps {
-			out[i] = a.AvgRound()
-		}
-		return out
+// ablationRun builds one custom rig with explicit costs and scheduler
+// constructor, measures it, and returns each app's average round time.
+func ablationRun(opts Options, costs cost.Model, mk func() neon.Scheduler, specs ...workload.Spec) []sim.Duration {
+	eng := sim.NewEngine()
+	cfg := gpu.DefaultConfig()
+	cfg.GraphicsPenalty = opts.GraphicsPenalty
+	cfg.Costs = costs
+	dev := gpu.New(eng, cfg)
+	k := neon.NewKernel(dev, mk())
+	k.RequestRunLimit = opts.RunLimit
+	var apps []*workload.App
+	rng := sim.NewRNG(opts.Seed)
+	for i, s := range specs {
+		apps = append(apps, workload.Launch(k, s, rng.ForkNamed("app", i)))
 	}
-
-	solo := run(dct)[0]
-	pair := run(dct, thr)
-	sd := float64(solo) / float64(aloneDCT)
-	cell := fmt.Sprintf("%.2f/%.2f",
-		float64(pair[0])/float64(alonePair[0]),
-		float64(pair[1])/float64(alonePair[1]))
-	return sd, cell
+	eng.RunFor(opts.Warmup)
+	for _, a := range apps {
+		a.ResetStats()
+	}
+	eng.RunFor(opts.Measure)
+	out := make([]sim.Duration, len(apps))
+	for i, a := range apps {
+		out[i] = a.AvgRound()
+	}
+	return out
 }

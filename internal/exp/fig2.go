@@ -12,30 +12,47 @@ var fig2Apps = []string{"glxgears", "oclParticles", "simpleTexture3D"}
 
 // Fig2 reproduces Figure 2: CDFs of request inter-arrival periods and
 // service periods for the three small-request applications, in
-// log2-microsecond bins.
+// log2-microsecond bins. One job per application.
 func Fig2(opts Options) *report.Table {
 	t := report.New("Figure 2: request inter-arrival and service period CDFs (% <= bin)",
 		"Application", "Series", "<2us", "<8us", "<32us", "<128us", "<512us", "<2ms")
 	cuts := []int{1, 3, 5, 7, 9, 11} // log2(us) bin upper indexes
+
+	type cdfs struct {
+		interArrival, service [18]float64
+	}
+	var (
+		jobs  []Job
+		names []string
+	)
 	for _, name := range fig2Apps {
 		spec, ok := workload.ByName(name)
 		if !ok {
 			continue
 		}
-		rig := NewRig(Direct, opts, spec)
-		rig.Apps[0].Observe = true
-		rig.Measure()
-		app := rig.Apps[0]
+		names = append(names, name)
+		jobs = append(jobs, NewJob("fig2", len(jobs), name, func(o Options) any {
+			rig := NewRig(Direct, o, spec)
+			rig.Apps[0].Observe = true
+			rig.Measure()
+			app := rig.Apps[0]
+			return cdfs{interArrival: app.InterArrival.CDF(), service: app.Service.CDF()}
+		}))
+	}
+	res := RunJobs(opts, jobs)
+
+	for i, name := range names {
+		c := res[i].Value.(cdfs)
 		for _, series := range []struct {
 			label string
 			cdf   [18]float64
 		}{
-			{"inter-arrival", app.InterArrival.CDF()},
-			{"service", app.Service.CDF()},
+			{"inter-arrival", c.interArrival},
+			{"service", c.service},
 		} {
 			row := []string{name, series.label}
-			for _, c := range cuts {
-				row = append(row, fmt.Sprintf("%.0f%%", series.cdf[c]))
+			for _, cut := range cuts {
+				row = append(row, fmt.Sprintf("%.0f%%", series.cdf[cut]))
 			}
 			t.AddRow(row...)
 		}

@@ -5,21 +5,37 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
+// fig4Scheds are the managed policies Figure 4 compares against direct.
+var fig4Scheds = []Sched{TS, DTS, DFQ}
+
 // Fig4 reproduces Figure 4: standalone slowdown of every benchmark under
-// each scheduling policy, relative to direct device access.
+// each scheduling policy, relative to direct device access. The grid
+// (application × policy) runs as parallel jobs against cached baselines.
 func Fig4(opts Options) *report.Table {
+	specs := workload.Table1()
+	alone := MeasureBaselines("fig4", opts, specs...)
+
+	var jobs []Job
+	for i, spec := range specs {
+		for j, s := range fig4Scheds {
+			jobs = append(jobs, NewJob("fig4", i*len(fig4Scheds)+j,
+				fmt.Sprintf("%s under %s", spec.Name, s),
+				func(o Options) any { return NewRig(s, o, spec).Measure()[0] }))
+		}
+	}
+	res := RunJobs(opts, jobs)
+
 	t := report.New("Figure 4: standalone execution slowdown vs direct access",
 		"Application", "Timeslice", "Disengaged TS", "Disengaged FQ")
-	for _, spec := range workload.Table1() {
-		alone := MeasureAlone(opts, spec)[0]
+	for i, spec := range specs {
 		row := []string{spec.Name}
-		for _, s := range []Sched{TS, DTS, DFQ} {
-			rig := NewRig(s, opts, spec)
-			r := rig.Measure()[0]
-			row = append(row, report.X(float64(r)/float64(alone)))
+		for j := range fig4Scheds {
+			r := res[i*len(fig4Scheds)+j].Value.(sim.Duration)
+			row = append(row, report.X(float64(r)/float64(alone.Of(spec))))
 		}
 		t.AddRow(row...)
 	}
@@ -33,16 +49,29 @@ var Fig5Sizes = []float64{19, 64, 191, 425, 850, 1700}
 // Fig5 reproduces Figure 5: standalone Throttle slowdown under each
 // scheduler across request sizes.
 func Fig5(opts Options) *report.Table {
+	specs := make([]workload.Spec, len(Fig5Sizes))
+	for i, usz := range Fig5Sizes {
+		specs[i] = workload.Throttle(time.Duration(usz*float64(time.Microsecond)), 0)
+	}
+	alone := MeasureBaselines("fig5", opts, specs...)
+
+	var jobs []Job
+	for i, spec := range specs {
+		for j, s := range fig4Scheds {
+			jobs = append(jobs, NewJob("fig5", i*len(fig4Scheds)+j,
+				fmt.Sprintf("Throttle(%.0fus) under %s", Fig5Sizes[i], s),
+				func(o Options) any { return NewRig(s, o, spec).Measure()[0] }))
+		}
+	}
+	res := RunJobs(opts, jobs)
+
 	t := report.New("Figure 5: standalone Throttle slowdown vs request size",
 		"Request size", "Timeslice", "Disengaged TS", "Disengaged FQ")
-	for _, usz := range Fig5Sizes {
-		spec := workload.Throttle(time.Duration(usz*float64(time.Microsecond)), 0)
-		alone := MeasureAlone(opts, spec)[0]
-		row := []string{fmt.Sprintf("%.0fus", usz)}
-		for _, s := range []Sched{TS, DTS, DFQ} {
-			rig := NewRig(s, opts, spec)
-			r := rig.Measure()[0]
-			row = append(row, report.X(float64(r)/float64(alone)))
+	for i, spec := range specs {
+		row := []string{fmt.Sprintf("%.0fus", Fig5Sizes[i])}
+		for j := range fig4Scheds {
+			r := res[i*len(fig4Scheds)+j].Value.(sim.Duration)
+			row = append(row, report.X(float64(r)/float64(alone.Of(spec))))
 		}
 		t.AddRow(row...)
 	}

@@ -22,25 +22,54 @@ type PairResult struct {
 }
 
 // RunPairs executes the full pairwise matrix: each listed application
-// against Throttle at each size, under each scheduler.
+// against Throttle at each size, under each scheduler. Every cell is an
+// independent job on the worker pool; each application's and each
+// Throttle size's standalone baseline is measured once for the whole
+// matrix rather than once per pair.
 func RunPairs(opts Options, apps []string, sizes []float64, scheds []Sched) []PairResult {
-	var out []PairResult
+	type cell struct {
+		app  workload.Spec
+		thr  workload.Spec
+		name string
+		usz  float64
+		s    Sched
+	}
+	var (
+		cells []cell
+		specs []workload.Spec
+	)
 	for _, name := range apps {
 		spec, ok := workload.ByName(name)
 		if !ok {
 			continue
 		}
+		specs = append(specs, spec)
 		for _, usz := range sizes {
 			thr := workload.Throttle(time.Duration(usz*float64(time.Microsecond)), 0)
-			alone := MeasureAlone(opts, spec, thr)
+			specs = append(specs, thr)
 			for _, s := range scheds {
-				res := RunMix(s, opts, alone, spec, thr)
-				out = append(out, PairResult{
-					App: name, ThrottleUS: usz, Sched: s,
-					AppSlowdown: res.Slowdowns[0], ThrSlowdown: res.Slowdowns[1],
-					Efficiency: res.Efficiency,
-				})
+				cells = append(cells, cell{app: spec, thr: thr, name: name, usz: usz, s: s})
 			}
+		}
+	}
+	alone := MeasureBaselines("pairs", opts, specs...)
+
+	jobs := make([]Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = NewJob("pairs", i,
+			fmt.Sprintf("%s vs Thr(%.0fus) under %s", c.name, c.usz, c.s),
+			func(o Options) any {
+				return RunMix(c.s, o, alone.For(c.app, c.thr), c.app, c.thr)
+			})
+	}
+	out := make([]PairResult, len(cells))
+	for i, r := range RunJobs(opts, jobs) {
+		res := r.Value.(MixResult)
+		c := cells[i]
+		out[i] = PairResult{
+			App: c.name, ThrottleUS: c.usz, Sched: c.s,
+			AppSlowdown: res.Slowdowns[0], ThrSlowdown: res.Slowdowns[1],
+			Efficiency: res.Efficiency,
 		}
 	}
 	return out
@@ -117,24 +146,34 @@ func Fig7(opts Options) *report.Table {
 }
 
 // Fig8 reproduces Figure 8: four concurrent applications (Throttle 425us,
-// BinarySearch, DCT, FFT) — per-app slowdowns plus overall efficiency.
+// BinarySearch, DCT, FFT) — per-app slowdowns plus overall efficiency,
+// one job per scheduler.
 func Fig8(opts Options) *report.Table {
 	thr := workload.Throttle(425*time.Microsecond, 0)
 	bs, _ := workload.ByName("BinarySearch")
 	dct, _ := workload.ByName("DCT")
 	fft, _ := workload.ByName("FFT")
 	specs := []workload.Spec{thr, bs, dct, fft}
-	alone := MeasureAlone(opts, specs...)
+	alone := MeasureBaselines("fig8", opts, specs...)
+
+	var jobs []Job
+	for i, s := range AllScheds() {
+		jobs = append(jobs, NewJob("fig8", i, fmt.Sprintf("four apps under %s", s),
+			func(o Options) any {
+				return RunMix(s, o, alone.For(specs...), specs...)
+			}))
+	}
+	res := RunJobs(opts, jobs)
 
 	t := report.New("Figure 8: four concurrent applications",
 		"Scheduler", "Throttle(425us)", "BinarySearch", "DCT", "FFT", "efficiency")
-	for _, s := range AllScheds() {
-		res := RunMix(s, opts, alone, specs...)
+	for i, s := range AllScheds() {
+		mix := res[i].Value.(MixResult)
 		row := []string{s.Label()}
-		for _, sd := range res.Slowdowns {
+		for _, sd := range mix.Slowdowns {
 			row = append(row, report.X(sd))
 		}
-		row = append(row, report.F(res.Efficiency, 2))
+		row = append(row, report.F(mix.Efficiency, 2))
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: average slowdown stays at 4-5x; efficiency loss vs direct is 13%% engaged, 8%%/7%% disengaged")

@@ -21,20 +21,43 @@ type NonsatResult struct {
 }
 
 // RunNonsat executes the Section 5.4 scenarios: DCT against a Throttle
-// that sleeps the given fraction of each cycle.
+// that sleeps the given fraction of each cycle. Each (ratio, scheduler)
+// cell runs as its own job; DCT's baseline is shared across the grid.
 func RunNonsat(opts Options, ratios []float64, scheds []Sched) []NonsatResult {
 	dct, _ := workload.ByName("DCT")
-	var out []NonsatResult
+	type cell struct {
+		thr   workload.Spec
+		ratio float64
+		s     Sched
+	}
+	var (
+		cells []cell
+		specs = []workload.Spec{dct}
+	)
 	for _, ratio := range ratios {
 		thr := workload.Throttle(425*time.Microsecond, ratio)
-		alone := MeasureAlone(opts, dct, thr)
+		specs = append(specs, thr)
 		for _, s := range scheds {
-			res := RunMix(s, opts, alone, dct, thr)
-			out = append(out, NonsatResult{
-				SleepRatio: ratio, Sched: s,
-				DCTSlowdown: res.Slowdowns[0], ThrSlowdown: res.Slowdowns[1],
-				Efficiency: res.Efficiency,
+			cells = append(cells, cell{thr: thr, ratio: ratio, s: s})
+		}
+	}
+	alone := MeasureBaselines("nonsat", opts, specs...)
+
+	jobs := make([]Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = NewJob("nonsat", i,
+			fmt.Sprintf("DCT vs Throttle(off=%.0f%%) under %s", c.ratio*100, c.s),
+			func(o Options) any {
+				return RunMix(c.s, o, alone.For(dct, c.thr), dct, c.thr)
 			})
+	}
+	out := make([]NonsatResult, len(cells))
+	for i, r := range RunJobs(opts, jobs) {
+		res := r.Value.(MixResult)
+		out[i] = NonsatResult{
+			SleepRatio: cells[i].ratio, Sched: cells[i].s,
+			DCTSlowdown: res.Slowdowns[0], ThrSlowdown: res.Slowdowns[1],
+			Efficiency: res.Efficiency,
 		}
 	}
 	return out

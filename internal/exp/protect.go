@@ -13,26 +13,36 @@ import (
 // submits an infinite-loop kernel alongside an innocent DCT. Under direct
 // access the device hangs; under the protected schedulers the kernel
 // identifies the over-long request during a drain and kills the task.
+// Each scheduler's scenario is an independent job.
 func Protection(opts Options) *report.Table {
+	scheds := append(AllScheds(), Oracle)
+	var jobs []Job
+	for i, s := range scheds {
+		jobs = append(jobs, NewJob("protect", i, fmt.Sprintf("attacker under %s", s),
+			func(o Options) any {
+				o.RunLimit = 50 * time.Millisecond
+				dct, _ := workload.ByName("DCT")
+				rig := NewRig(s, o, dct)
+				inf := workload.LaunchInfiniteKernel(rig.Kernel, 3)
+				rig.Engine.RunFor(o.Warmup)
+				for _, a := range rig.Apps {
+					a.ResetStats()
+				}
+				rig.Engine.RunFor(o.Measure)
+				victim := rig.Apps[0]
+				return []string{
+					s.Label(),
+					fmt.Sprintf("%v", !inf.Task.Alive),
+					inf.Task.ExitReason,
+					fmt.Sprintf("%d", victim.Rounds),
+					report.US(victim.AvgRound()),
+				}
+			}))
+	}
 	t := report.New("Section 3.1/6.2: protection against over-long (infinite) requests",
 		"Scheduler", "attacker killed", "exit reason", "victim rounds", "victim round time")
-	for _, s := range append(AllScheds(), Oracle) {
-		o := opts
-		o.RunLimit = 50 * time.Millisecond
-		dct, _ := workload.ByName("DCT")
-		rig := NewRig(s, o, dct)
-		inf := workload.LaunchInfiniteKernel(rig.Kernel, 3)
-		rig.Engine.RunFor(o.Warmup)
-		for _, a := range rig.Apps {
-			a.ResetStats()
-		}
-		rig.Engine.RunFor(o.Measure)
-		victim := rig.Apps[0]
-		t.AddRow(s.Label(),
-			fmt.Sprintf("%v", !inf.Task.Alive),
-			inf.Task.ExitReason,
-			fmt.Sprintf("%d", victim.Rounds),
-			report.US(victim.AvgRound()))
+	for _, r := range RunJobs(opts, jobs) {
+		t.AddRow(r.Value.([]string)...)
 	}
 	t.AddNote("direct access has no recourse: the device is occupied forever and the victim starves")
 	t.AddNote("Oracle FQ relies on the same run-limit kill, applied via its periodic accounting")
@@ -40,35 +50,44 @@ func Protection(opts Options) *report.Table {
 }
 
 // Sec63DoS runs the Section 6.3 channel-exhaustion attack, with and
-// without the OS channel-allocation policy.
+// without the OS channel-allocation policy, one job per variant.
 func Sec63DoS(opts Options) *report.Table {
+	var jobs []Job
+	for i, withPolicy := range []bool{false, true} {
+		jobs = append(jobs, NewJob("sec63", i, fmt.Sprintf("policy=%v", withPolicy),
+			func(o Options) any {
+				rig := NewRig(Direct, o)
+				if withPolicy {
+					rig.Kernel.Policy = &neon.ChannelPolicy{MaxChannelsPerTask: 4, MaxTasks: 24}
+				}
+				_, res, _ := workload.LaunchChannelHog(rig.Kernel, 100)
+				rig.Engine.RunFor(50 * time.Millisecond)
+
+				// A well-behaved victim arrives after the hog.
+				dct, _ := workload.ByName("DCT")
+				victim := workload.Launch(rig.Kernel, dct, nil)
+				rig.Engine.RunFor(50 * time.Millisecond)
+
+				label := "none (vendor default)"
+				if withPolicy {
+					label = "C=4 channels/task, D/C tasks"
+				}
+				errText := "-"
+				if res.DeniedAt != nil {
+					errText = res.DeniedAt.Error()
+				}
+				return []string{
+					label,
+					fmt.Sprintf("%d", res.ContextsCreated),
+					errText,
+					fmt.Sprintf("%v", victim.SetupError() == nil),
+				}
+			}))
+	}
 	t := report.New("Section 6.3: channel allocation protection",
 		"Policy", "hog contexts", "hog stopped by", "victim can open?")
-	for _, withPolicy := range []bool{false, true} {
-		rig := NewRig(Direct, opts)
-		if withPolicy {
-			rig.Kernel.Policy = &neon.ChannelPolicy{MaxChannelsPerTask: 4, MaxTasks: 24}
-		}
-		_, res, _ := workload.LaunchChannelHog(rig.Kernel, 100)
-		rig.Engine.RunFor(50 * time.Millisecond)
-
-		// A well-behaved victim arrives after the hog.
-		dct, _ := workload.ByName("DCT")
-		victim := workload.Launch(rig.Kernel, dct, nil)
-		rig.Engine.RunFor(50 * time.Millisecond)
-
-		label := "none (vendor default)"
-		if withPolicy {
-			label = "C=4 channels/task, D/C tasks"
-		}
-		errText := "-"
-		if res.DeniedAt != nil {
-			errText = res.DeniedAt.Error()
-		}
-		t.AddRow(label,
-			fmt.Sprintf("%d", res.ContextsCreated),
-			errText,
-			fmt.Sprintf("%v", victim.SetupError() == nil))
+	for _, r := range RunJobs(opts, jobs) {
+		t.AddRow(r.Value.([]string)...)
 	}
 	t.AddNote("the paper observed the device wedged after 48 contexts; the OS policy leaves room for later arrivals")
 	return t

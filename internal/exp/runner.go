@@ -30,6 +30,11 @@ type Options struct {
 	RunLimit sim.Duration
 	// Seed feeds the deterministic RNG.
 	Seed int64
+	// Parallel bounds the experiment worker pool: scenarios of one
+	// experiment run on up to this many goroutines, each with its own
+	// engine and a seed forked from (Seed, experiment, scenario index),
+	// so results are identical at any width. Zero means runtime.NumCPU.
+	Parallel int
 }
 
 // DefaultPenalty is the graphics arbitration bias observed in Section
@@ -115,7 +120,7 @@ func NewRig(sched Sched, opts Options, specs ...workload.Spec) *Rig {
 	rig := &Rig{Engine: eng, Device: dev, Kernel: k, opts: opts}
 	rng := sim.NewRNG(opts.Seed)
 	for i, s := range specs {
-		rig.Apps = append(rig.Apps, workload.Launch(k, s, rng.Fork(int64(i))))
+		rig.Apps = append(rig.Apps, workload.Launch(k, s, rng.ForkNamed("app", i)))
 	}
 	return rig
 }

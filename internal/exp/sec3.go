@@ -11,18 +11,40 @@ import (
 	"repro/internal/userlib"
 )
 
+// sec3Sizes are the equal-sized request sweeps of the Section 3 study.
+var sec3Sizes = []float64{10, 20, 40, 60, 100}
+
 // Sec3Throughput reproduces the Section 3 motivation measurement: the
 // throughput gain of direct device access over a stack that traps to the
 // kernel on every request, for equal-sized requests of 10-100us, both
 // with a minimal trap and with nontrivial driver processing per trap.
+// Every (size, stack) combination is an independent job.
 func Sec3Throughput(opts Options) *report.Table {
+	stacks := []struct {
+		name       string
+		trap, work bool
+	}{
+		{"direct", false, false},
+		{"trap", true, false},
+		{"trap+driver", true, true},
+	}
+	var jobs []Job
+	for i, usz := range sec3Sizes {
+		size := time.Duration(usz * float64(time.Microsecond))
+		for j, st := range stacks {
+			jobs = append(jobs, NewJob("sec3", i*len(stacks)+j,
+				fmt.Sprintf("%.0fus via %s", usz, st.name),
+				func(o Options) any { return throughput(o, size, st.trap, st.work) }))
+		}
+	}
+	res := RunJobs(opts, jobs)
+
 	t := report.New("Section 3: direct access vs per-request kernel traps (throughput gain of direct)",
 		"Request size", "vs plain trap", "vs trap+driver work")
-	for _, usz := range []float64{10, 20, 40, 60, 100} {
-		size := time.Duration(usz * float64(time.Microsecond))
-		direct := throughput(opts, size, false, false)
-		trap := throughput(opts, size, true, false)
-		heavy := throughput(opts, size, true, true)
+	for i, usz := range sec3Sizes {
+		direct := res[i*len(stacks)].Value.(float64)
+		trap := res[i*len(stacks)+1].Value.(float64)
+		heavy := res[i*len(stacks)+2].Value.(float64)
 		t.AddRow(fmt.Sprintf("%.0fus", usz),
 			fmt.Sprintf("+%.0f%%", 100*(direct/trap-1)),
 			fmt.Sprintf("+%.0f%%", 100*(direct/heavy-1)))

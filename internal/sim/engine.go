@@ -197,6 +197,31 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor advances the simulation by d from the current time.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
+// Reset returns the engine to its initial state: clock at zero, no
+// events. It lets a harness reuse one engine allocation across scenarios
+// instead of constructing a fresh engine per run; any outstanding Timers
+// from the previous run are dropped. Reset refuses to run while procs
+// are live — their goroutines are parked awaiting engine wakeups and
+// would be stranded forever — so models must finish (or Kill) every
+// proc before the engine can be reused.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset during Run")
+	}
+	if e.procs != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live procs", e.procs))
+	}
+	for i, ev := range e.events {
+		*ev.stopped = true
+		e.events[i] = nil // release the event's closure for GC
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.hasPanic = false
+	e.panicked = nil
+}
+
 // Pending returns the number of queued (uncancelled) events.
 func (e *Engine) Pending() int {
 	n := 0

@@ -132,6 +132,50 @@ func TestPendingCountsUncancelled(t *testing.T) {
 	}
 }
 
+func TestResetReturnsEngineToInitialState(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(10, func() { fired = true })
+	e.RunFor(5)
+	e.Reset()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v after Reset, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Reset, want 0", e.Pending())
+	}
+	e.Run()
+	if fired {
+		t.Fatal("pre-Reset event fired after Reset")
+	}
+	// The engine is fully reusable: a fresh run behaves like a new engine.
+	ran := false
+	e.After(3, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 3 {
+		t.Fatalf("post-Reset run: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+// Reset must refuse to strand parked proc goroutines: a live proc means
+// the engine cannot be safely reused.
+func TestResetWithLiveProcsPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(time.Hour)
+	})
+	e.RunFor(time.Minute)
+	if e.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs() = %d, want 1", e.LiveProcs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset with a live proc did not panic")
+		}
+	}()
+	e.Reset()
+}
+
 func TestNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	depth := 0

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func TestStreamSeedDeterministic(t *testing.T) {
+	a := StreamSeed(1, "fig6", 3)
+	b := StreamSeed(1, "fig6", 3)
+	if a != b {
+		t.Fatalf("StreamSeed not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("StreamSeed returned negative seed %d", a)
+	}
+}
+
+func TestStreamSeedKeySensitivity(t *testing.T) {
+	base := StreamSeed(1, "fig6", 3)
+	for name, other := range map[string]int64{
+		"base seed": StreamSeed(2, "fig6", 3),
+		"name":      StreamSeed(1, "fig7", 3),
+		"index":     StreamSeed(1, "fig6", 4),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the stream seed", name)
+		}
+	}
+}
+
+// ForkNamed must depend only on the construction seed and the key, never
+// on how many draws the parent has made — that is what makes scenario
+// streams identical regardless of worker-pool execution order.
+func TestForkNamedIgnoresParentState(t *testing.T) {
+	g := NewRNG(42)
+	fresh := g.ForkNamed("scenario", 7).Float64()
+	for i := 0; i < 100; i++ {
+		g.Float64()
+	}
+	again := g.ForkNamed("scenario", 7).Float64()
+	if fresh != again {
+		t.Fatalf("ForkNamed stream changed after parent draws: %v vs %v", fresh, again)
+	}
+}
+
+// Fork, by contrast, consumes parent state: two successive forks with the
+// same id must differ (one stream per task).
+func TestForkConsumesParentState(t *testing.T) {
+	g := NewRNG(42)
+	a := g.Fork(1).Float64()
+	b := g.Fork(1).Float64()
+	if a == b {
+		t.Fatal("successive Fork(1) calls produced the same stream")
+	}
+}

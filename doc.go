@@ -17,6 +17,9 @@
 //   - internal/core     — the schedulers: Timeslice with overuse control,
 //     Disengaged Timeslice, Disengaged Fair Queueing, plus the direct
 //     access baseline and an oracle-statistics ablation
+//   - internal/fleet    — the multi-device layer: device pools, placement
+//     policies (round-robin, least-loaded, locality-sticky), and
+//     fleet-wide virtual-time reconciliation
 //   - internal/userlib  — the user-space runtime library analog
 //   - internal/workload — Table 1 application models, Throttle, and
 //     adversarial workloads
@@ -32,8 +35,9 @@
 // private engine per scenario, with RNG streams keyed by scenario
 // identity — so serial and parallel runs emit byte-identical tables.
 //
-// See DESIGN.md for the substitution argument, system inventory, and
-// harness architecture, and EXPERIMENTS.md for how to regenerate each
-// figure (including the -parallel and -json flags) and what to expect
-// versus the paper.
+// See README.md for the quickstart and package map, DESIGN.md for the
+// substitution argument, system inventory, and harness architecture,
+// EXPERIMENTS.md for how to regenerate each figure (including the
+// -parallel and -json flags) and what to expect versus the paper, and
+// SCHEDULERS.md for the full scheduling and placement policy reference.
 package repro

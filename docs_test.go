@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestDocCrossReferences pins the documentation graph: every markdown
+// file that doc.go or a top-level document points at must exist, so
+// onboarding links (doc.go → README.md → DESIGN.md / EXPERIMENTS.md /
+// SCHEDULERS.md) never dangle.
+func TestDocCrossReferences(t *testing.T) {
+	sources := []string{"doc.go", "README.md", "DESIGN.md", "EXPERIMENTS.md", "SCHEDULERS.md"}
+	ref := regexp.MustCompile(`[A-Za-z0-9_-]+\.md`)
+
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatalf("reading %s: %v", src, err)
+		}
+		for _, target := range ref.FindAllString(string(data), -1) {
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s references %s, which does not exist", src, target)
+			}
+		}
+	}
+}

@@ -24,26 +24,33 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/neon"
 	"repro/internal/sim"
 )
 
 // New constructs a scheduler by policy name, using default parameters.
-// Recognized names: "direct", "timeslice", "dts", "dfq", "oracle".
-func New(name string) neon.Scheduler {
+// Recognized names: "direct", "timeslice" ("ts"), "dts"
+// ("disengaged-timeslice"), "dfq" ("disengaged-fair-queueing"), and
+// "oracle" ("oracle-fq"). An unknown name is an error listing the valid
+// policies.
+func New(name string) (neon.Scheduler, error) {
 	switch name {
 	case "direct":
-		return NewDirectAccess()
+		return NewDirectAccess(), nil
 	case "timeslice", "ts":
-		return NewTimeslice(DefaultSlice)
+		return NewTimeslice(DefaultSlice), nil
 	case "dts", "disengaged-timeslice":
-		return NewDisengagedTimeslice(DefaultSlice)
+		return NewDisengagedTimeslice(DefaultSlice), nil
 	case "dfq", "disengaged-fair-queueing":
-		return NewDisengagedFairQueueing(DefaultDFQConfig())
+		return NewDisengagedFairQueueing(DefaultDFQConfig()), nil
 	case "oracle", "oracle-fq":
-		return NewOracleFairQueueing(DefaultOracleInterval)
+		return NewOracleFairQueueing(DefaultOracleInterval), nil
 	default:
-		return nil
+		return nil, fmt.Errorf("core: unknown scheduler policy %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -409,15 +410,23 @@ func TestOracleZeroOverheadStandalone(t *testing.T) {
 
 func TestNewByName(t *testing.T) {
 	for _, name := range Names() {
-		if New(name) == nil {
-			t.Fatalf("New(%q) = nil", name)
+		if s, err := New(name); err != nil || s == nil {
+			t.Fatalf("New(%q) = %v, %v", name, s, err)
 		}
 	}
-	if New("bogus") != nil {
-		t.Fatal("New(bogus) should be nil")
+	s, err := New("bogus")
+	if err == nil || s != nil {
+		t.Fatalf("New(bogus) = %v, %v; want nil scheduler and an error", s, err)
 	}
-	if New("ts") == nil || New("disengaged-timeslice") == nil || New("oracle-fq") == nil {
-		t.Fatal("aliases broken")
+	for _, want := range Names() {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("New(bogus) error %q does not name valid policy %q", err, want)
+		}
+	}
+	for _, alias := range []string{"ts", "disengaged-timeslice", "oracle-fq"} {
+		if s, err := New(alias); err != nil || s == nil {
+			t.Fatalf("alias %q broken: %v, %v", alias, s, err)
+		}
 	}
 }
 

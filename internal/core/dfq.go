@@ -24,6 +24,26 @@ type DFQConfig struct {
 	// DefaultEstimate seeds a task's request-size estimate before its
 	// first successful sampling run.
 	DefaultEstimate sim.Duration
+	// Fleet, when non-nil, reconciles this device's virtual times with a
+	// fleet-wide board at every engagement episode (see FleetVT). Single-
+	// device operation leaves it nil and denial stays purely local.
+	Fleet FleetVT
+}
+
+// FleetVT is the fleet-wide virtual-time exchange of a multi-device
+// deployment. A per-device DisengagedFairQueueing instance reports, at
+// the end of each engagement episode, the estimated usage it charged
+// each principal (keyed by task name, the identity that is stable
+// across devices) and which principals were active at the barrier. The
+// exchange folds the charges into fleet-wide virtual times, advances
+// the fleet-wide system virtual time, and returns each reported
+// principal's lead over it. The scheduler denies the next free run to
+// principals whose lead reaches its free-run horizon — so a tenant
+// consuming on several devices at once is throttled everywhere, not
+// only where it happens to be sampled.
+type FleetVT interface {
+	ReconcileEpisode(device string, charges map[string]sim.Duration,
+		active map[string]bool) map[string]sim.Duration
 }
 
 // DefaultDFQConfig returns the paper's configuration.
@@ -300,10 +320,13 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 
 	// Step 1: advance each running task's virtual time by its estimated
 	// share of the elapsed interval.
+	charges := make(map[*neon.Task]sim.Duration, len(charged))
 	if estSum > 0 {
 		for _, t := range charged {
 			s := d.st[t]
-			s.vt += sim.Duration(float64(window) * float64(s.est) / float64(estSum))
+			delta := sim.Duration(float64(window) * float64(s.est) / float64(estSum))
+			s.vt += delta
+			charges[t] = delta
 		}
 	}
 
@@ -330,7 +353,25 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	}
 
 	// Step 3: deny the next interval to tasks so far ahead that even an
-	// exclusive interval would not let the slowest catch past them.
+	// exclusive interval would not let the slowest catch past them. With
+	// a fleet exchange attached, the decision uses fleet-wide leads —
+	// this device's charges folded with every other device's — so a
+	// principal cannot gain extra shares by spreading across devices.
+	if d.cfg.Fleet != nil {
+		named := make(map[string]sim.Duration, len(charges))
+		for t, delta := range charges {
+			named[t.Name] += delta
+		}
+		activeNames := make(map[string]bool, len(d.st))
+		for _, t := range d.k.Tasks() {
+			activeNames[t.Name] = activeNames[t.Name] || d.state(t).activeAtBarrier
+		}
+		leads := d.cfg.Fleet.ReconcileEpisode(d.k.Label, named, activeNames)
+		for _, t := range d.k.Tasks() {
+			d.state(t).denied = leads[t.Name] >= freeRun
+		}
+		return
+	}
 	for _, t := range d.k.Tasks() {
 		s := d.state(t)
 		s.denied = s.vt-d.sysVT >= freeRun

@@ -1,0 +1,21 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleNew constructs schedulers by policy name. Unknown names are an
+// error listing the valid policies — construction never silently yields
+// a nil scheduler.
+func ExampleNew() {
+	sched, err := core.New("dfq")
+	fmt.Println(sched.Name(), err)
+
+	_, err = core.New("magic")
+	fmt.Println(err)
+	// Output:
+	// disengaged-fair-queueing <nil>
+	// core: unknown scheduler policy "magic" (valid: direct, timeslice, dts, dfq, oracle)
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestFleetStickyBeatsRoundRobin pins the fleet acceptance property:
+// locality-sticky placement beats round-robin on aggregate throughput
+// (round-robin migrates warm working sets nearly every round, burning
+// fleet capacity on reconstruction) while holding worst-tenant fairness
+// within the single-device DFQ bound.
+func TestFleetStickyBeatsRoundRobin(t *testing.T) {
+	opts := Quick()
+	opts.Seed = 1
+	const devices = 4
+	// Tolerance on the single-device bound: the fleet adds placement
+	// skew a single device cannot have, but reconciliation must keep
+	// the worst tenant within 15% of the single-device fairness floor.
+	const fairnessTolerance = 0.85
+
+	for _, mix := range []string{"uniform", "mixed"} {
+		sticky := RunFleetCell(opts, devices, "sticky", mix)
+		rr := RunFleetCell(opts, devices, "rr", mix)
+		single := RunFleetCell(opts, 1, "sticky", mix)
+
+		if sticky.RoundsPerSec <= rr.RoundsPerSec {
+			t.Errorf("%s: sticky %.0f rounds/s does not beat round-robin %.0f",
+				mix, sticky.RoundsPerSec, rr.RoundsPerSec)
+		}
+		if bound := fairnessTolerance * single.WorstShare; sticky.WorstShare < bound {
+			t.Errorf("%s: sticky worst-tenant share %.3f below single-device DFQ bound %.3f (%.3f x %.2f)",
+				mix, sticky.WorstShare, bound, single.WorstShare, fairnessTolerance)
+		}
+	}
+}
+
+// TestFleetReconciliationKeepsJainHigh guards the fleet-wide fairness
+// property at experiment scale: with per-device DFQ plus the board, the
+// uniform population's device-time shares stay essentially equal.
+func TestFleetReconciliationKeepsJainHigh(t *testing.T) {
+	opts := Quick()
+	opts.Seed = 1
+	for _, policy := range []string{"rr", "least-loaded", "sticky"} {
+		r := RunFleetCell(opts, 4, policy, "uniform")
+		if r.Jain < 0.95 {
+			t.Errorf("%s: Jain index %.3f over uniform tenants, want >= 0.95", policy, r.Jain)
+		}
+	}
+}
+
+// TestFleetSerialParallelIdentical extends the harness's byte-identity
+// guarantee to the fleet grid: the emitted table must not depend on the
+// worker pool width.
+func TestFleetSerialParallelIdentical(t *testing.T) {
+	opts := Quick()
+	opts.Seed = 1
+
+	serial := opts
+	serial.Parallel = 1
+	parallel := opts
+	parallel.Parallel = 4
+
+	a := FleetExp(serial).String()
+	b := FleetExp(parallel).String()
+	if a != b {
+		t.Fatalf("fleet tables differ between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

@@ -26,6 +26,7 @@ func Registry() []Experiment {
 		{"sec63", "channel allocation DoS protection (Section 6.3)", Sec63DoS},
 		{"ablation-stats", "sampled estimates vs hardware statistics", AblationStats},
 		{"ablation-params", "configuration parameter sweeps", AblationParams},
+		{"fleet", "multi-device placement policies and fleet-wide fairness", FleetExp},
 	}
 }
 

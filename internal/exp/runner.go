@@ -111,9 +111,9 @@ func NewRig(sched Sched, opts Options, specs ...workload.Spec) *Rig {
 	}
 	cfg.Costs = cost.Default()
 	dev := gpu.New(eng, cfg)
-	policy := core.New(string(sched))
-	if policy == nil {
-		panic(fmt.Sprintf("exp: unknown scheduler %q", sched))
+	policy, err := core.New(string(sched))
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
 	}
 	k := neon.NewKernel(dev, policy)
 	k.RequestRunLimit = opts.RunLimit

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"repro/internal/sim"
+)
+
+// Board is the fleet-wide virtual-time exchange (it implements
+// core.FleetVT). Per-device Disengaged Fair Queueing instances report
+// the usage they charge at every engagement episode; the board folds
+// the charges into one virtual time per principal (tenant name),
+// advances the fleet-wide system virtual time — the oldest virtual time
+// among principals active on any device — and hands back each
+// principal's lead over it. The per-device schedulers deny free runs on
+// fleet-wide leads, which is what makes fairness hold across devices: a
+// tenant drawing service from three devices accrues virtual time three
+// times as fast and is denied everywhere until the others catch up.
+//
+// Every operation the board performs is commutative across principals
+// (sums, set membership, a minimum), so results do not depend on map
+// iteration order and the simulation stays deterministic.
+type Board struct {
+	vt       map[string]sim.Duration
+	activeOn map[string]map[string]bool
+	order    []string
+	sysVT    sim.Duration
+
+	// Episodes counts reconciliations, for tests.
+	Episodes int64
+}
+
+// NewBoard returns an empty fleet-wide virtual-time board.
+func NewBoard() *Board {
+	return &Board{
+		vt:       make(map[string]sim.Duration),
+		activeOn: make(map[string]map[string]bool),
+	}
+}
+
+// ReconcileEpisode implements core.FleetVT. charges is the estimated
+// usage the reporting device attributed to each principal this episode;
+// active marks the principals with work pending there (false explicitly
+// clears the mark). The returned map holds, for every principal in
+// either argument, its reconciled lead over the fleet-wide system
+// virtual time; the reporting scheduler compares leads against its own
+// free-run horizon to decide denials.
+func (b *Board) ReconcileEpisode(device string, charges map[string]sim.Duration,
+	active map[string]bool) map[string]sim.Duration {
+	b.Episodes++
+
+	for name, c := range charges {
+		b.ensure(name)
+		b.vt[name] += c
+	}
+	for name, a := range active {
+		b.ensure(name)
+		if a {
+			b.activeOn[name][device] = true
+		} else {
+			delete(b.activeOn[name], device)
+		}
+	}
+
+	// The fleet system virtual time is the oldest virtual time among
+	// principals active anywhere; it only moves forward.
+	first := true
+	var minVT sim.Duration
+	for _, name := range b.order {
+		if len(b.activeOn[name]) == 0 {
+			continue
+		}
+		if first || b.vt[name] < minVT {
+			minVT = b.vt[name]
+			first = false
+		}
+	}
+	if !first && minVT > b.sysVT {
+		b.sysVT = minVT
+	}
+
+	// Fleet-idle principals forfeit unused credit, as in single-device
+	// DFQ: returning after a lull must not grant a burst of back service.
+	for _, name := range b.order {
+		if len(b.activeOn[name]) == 0 && b.vt[name] < b.sysVT {
+			b.vt[name] = b.sysVT
+		}
+	}
+
+	leads := make(map[string]sim.Duration, len(active)+len(charges))
+	for name := range active {
+		leads[name] = b.vt[name] - b.sysVT
+	}
+	for name := range charges {
+		leads[name] = b.vt[name] - b.sysVT
+	}
+	return leads
+}
+
+// ensure registers a principal, starting it at the fleet system virtual
+// time — the same late-joiner rule as single-device DFQ.
+func (b *Board) ensure(name string) {
+	if _, ok := b.vt[name]; ok {
+		return
+	}
+	b.vt[name] = b.sysVT
+	b.activeOn[name] = make(map[string]bool)
+	b.order = append(b.order, name)
+}
+
+// VirtualTime returns the principal's fleet-wide virtual time, for
+// tests and reports.
+func (b *Board) VirtualTime(name string) sim.Duration { return b.vt[name] }
+
+// SystemVirtualTime returns the fleet-wide system virtual time.
+func (b *Board) SystemVirtualTime() sim.Duration { return b.sysVT }
+
+// Principals returns every principal the board has seen, in first-
+// appearance order.
+func (b *Board) Principals() []string { return append([]string(nil), b.order...) }

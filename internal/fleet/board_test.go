@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const ms = time.Millisecond
+
+func TestBoardAccumulatesAcrossDevices(t *testing.T) {
+	b := NewBoard()
+
+	// A consumes on two devices in the same window; B on one.
+	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 5 * ms, "B": 5 * ms},
+		map[string]bool{"A": true, "B": true})
+	leads := b.ReconcileEpisode("dev1", map[string]sim.Duration{"A": 5 * ms},
+		map[string]bool{"A": true})
+
+	if got := b.VirtualTime("A"); got != 10*ms {
+		t.Fatalf("A virtual time = %v, want 10ms (charges from both devices)", got)
+	}
+	if leads["A"] != 10*ms-b.SystemVirtualTime() {
+		t.Fatalf("A lead = %v, sysVT = %v", leads["A"], b.SystemVirtualTime())
+	}
+	if leads["A"] <= 0 {
+		t.Fatalf("multi-device consumer should lead the system VT, got %v", leads["A"])
+	}
+}
+
+func TestBoardSystemVTFollowsOldestActive(t *testing.T) {
+	b := NewBoard()
+	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 8 * ms, "B": 2 * ms},
+		map[string]bool{"A": true, "B": true})
+	if got := b.SystemVirtualTime(); got != 2*ms {
+		t.Fatalf("sysVT = %v, want 2ms (oldest active VT)", got)
+	}
+	// B goes idle: it forfeits unused credit up to the system VT.
+	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 4 * ms},
+		map[string]bool{"A": true, "B": false})
+	if got, sys := b.VirtualTime("B"), b.SystemVirtualTime(); got != sys {
+		t.Fatalf("idle B vt = %v, want forfeited to sysVT %v", got, sys)
+	}
+}
+
+func TestBoardLateJoinerStartsAtSystemVT(t *testing.T) {
+	b := NewBoard()
+	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 8 * ms},
+		map[string]bool{"A": true})
+	leads := b.ReconcileEpisode("dev1", nil, map[string]bool{"C": true})
+	if leads["C"] != 0 {
+		t.Fatalf("late joiner lead = %v, want 0 (starts at system VT)", leads["C"])
+	}
+}
+
+// TestFleetWideFairness pins the tentpole property: a principal drawing
+// service from two devices at once is throttled everywhere, so its
+// fleet-wide share converges to the same as a single-device principal's.
+// Without the board, the wide principal keeps one full device plus a
+// half share of the contended one (~3x a fair share).
+func TestFleetWideFairness(t *testing.T) {
+	ratio := func(board *Board) float64 {
+		eng := sim.NewEngine()
+		mkNode := func(name string) *neon.Kernel {
+			cfg := gpu.DefaultConfig()
+			cfg.Name = name
+			dcfg := core.DFQConfig{}
+			if board != nil {
+				dcfg.Fleet = board
+			}
+			return neon.NewKernel(gpu.New(eng, cfg), core.NewDisengagedFairQueueing(dcfg))
+		}
+		k0, k1 := mkNode("dev0"), mkNode("dev1")
+		spec := workload.Throttle(300*time.Microsecond, 0)
+
+		// "wide" runs on both devices at once; "narrow" shares dev0.
+		wide := spec
+		wide.Name = "wide"
+		narrow := spec
+		narrow.Name = "narrow"
+		w0 := workload.Launch(k0, wide, sim.NewRNG(1))
+		w1 := workload.Launch(k1, wide, sim.NewRNG(2))
+		n0 := workload.Launch(k0, narrow, sim.NewRNG(3))
+		eng.RunFor(500 * ms)
+
+		wideBusy := w0.Task.BusyTime() + w1.Task.BusyTime()
+		return float64(wideBusy) / float64(n0.Task.BusyTime())
+	}
+
+	without := ratio(nil)
+	with := ratio(NewBoard())
+	if without < 2.2 {
+		t.Fatalf("without reconciliation the wide principal should get ~3x, got %.2fx", without)
+	}
+	if with >= without {
+		t.Fatalf("reconciliation did not reduce the wide principal's share: %.2fx vs %.2fx", with, without)
+	}
+	if with > 1.8 {
+		t.Fatalf("with reconciliation the wide principal should be near parity, got %.2fx", with)
+	}
+}

@@ -1,0 +1,167 @@
+// Package fleet scales the single-accelerator NEON stack to a placed,
+// fair-shared multi-device fleet — the regime of heterogeneity-aware
+// cluster schedulers and of MQFQ-Sticky's locality-sticky fair queueing
+// for serverless GPU functions, and the biggest step from the paper's
+// one-GPU prototype toward a production deployment.
+//
+// A Fleet owns N device instances. Each instance is a full per-device
+// stack — its own gpu.Device (48-channel pool, engine arbitration,
+// reference counters), its own neon.Kernel, and its own Disengaged Fair
+// Queueing scheduler — exactly the paper's system, replicated. Two
+// layers tie the instances together:
+//
+//   - a placement subsystem (Policy): before every tenant round, the
+//     fleet asks the policy which device serves it. Round-robin,
+//     least-loaded, and locality-sticky policies are provided; the
+//     sticky policy returns tenants to their previous device while its
+//     queue depth stays under a threshold, trading balance for warm
+//     working-set state (MQFQ-Sticky-style).
+//   - fleet-wide virtual-time reconciliation (Board): each per-device
+//     DFQ instance folds the usage it charges at every engagement
+//     episode into a shared board keyed by tenant name, and takes its
+//     denial decisions against fleet-wide leads. A tenant consuming on
+//     several devices at once is throttled everywhere, so fairness
+//     holds across the fleet, not just within one device.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+)
+
+// Node is one device instance of the fleet: a private GPU, its kernel,
+// and the per-device scheduler the kernel runs.
+type Node struct {
+	Index  int
+	Device *gpu.Device
+	Kernel *neon.Kernel
+	Sched  *core.DisengagedFairQueueing
+
+	// inflight counts tenant rounds placed on this node and not yet
+	// finished — the queue depth (in rounds) placement policies compare.
+	inflight int
+
+	// busyAtReset snapshots the exec engine for utilization reporting.
+	busyAtReset sim.Duration
+}
+
+// Load returns the node's congestion signal: tenant rounds in flight
+// (placed but not completed), the fleet's queue depth in rounds.
+func (n *Node) Load() int { return n.inflight }
+
+// Config assembles a fleet.
+type Config struct {
+	// Devices is the number of device instances (N >= 1).
+	Devices int
+	// Policy places tenant rounds; nil defaults to round-robin.
+	Policy Policy
+	// GPU configures every device instance; a zero MaxContexts means
+	// gpu.DefaultConfig(). The per-instance Name is set by the fleet.
+	GPU gpu.Config
+	// DFQ configures every per-device scheduler; zero fields take the
+	// paper's defaults. The Fleet reconciliation hook is installed by
+	// the fleet and must be left nil.
+	DFQ core.DFQConfig
+	// RunLimit is each kernel's over-long request kill threshold.
+	RunLimit sim.Duration
+	// Seed feeds each tenant's deterministic jitter stream, forked by
+	// launch index so populations are order-independent.
+	Seed int64
+}
+
+// Fleet is a set of device instances behind one placement interface.
+type Fleet struct {
+	eng     *sim.Engine
+	nodes   []*Node
+	policy  Policy
+	board   *Board
+	tenants []*Tenant
+	seed    int64
+
+	// Placements counts placement decisions; Migrations counts the
+	// subset that moved a tenant off its previous device.
+	Placements int64
+	Migrations int64
+}
+
+// New builds a fleet of cfg.Devices per-device stacks on the engine.
+func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
+	}
+	if cfg.DFQ.Fleet != nil {
+		return nil, fmt.Errorf("fleet: DFQ.Fleet is installed by the fleet; leave it nil")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = NewRoundRobin()
+	}
+	f := &Fleet{eng: eng, policy: policy, board: NewBoard(), seed: cfg.Seed}
+	for i := 0; i < cfg.Devices; i++ {
+		gcfg := cfg.GPU
+		if gcfg.MaxContexts <= 0 {
+			gcfg = gpu.DefaultConfig()
+		}
+		gcfg.Name = fmt.Sprintf("dev%d", i)
+		dev := gpu.New(eng, gcfg)
+		dcfg := cfg.DFQ
+		dcfg.Fleet = f.board
+		sched := core.NewDisengagedFairQueueing(dcfg)
+		k := neon.NewKernel(dev, sched)
+		k.RequestRunLimit = cfg.RunLimit
+		f.nodes = append(f.nodes, &Node{Index: i, Device: dev, Kernel: k, Sched: sched})
+	}
+	return f, nil
+}
+
+// Engine returns the simulation engine the fleet runs on.
+func (f *Fleet) Engine() *sim.Engine { return f.eng }
+
+// Nodes returns the device instances in index order.
+func (f *Fleet) Nodes() []*Node { return f.nodes }
+
+// Board returns the fleet-wide virtual-time board.
+func (f *Fleet) Board() *Board { return f.board }
+
+// Policy returns the placement policy in use.
+func (f *Fleet) Policy() Policy { return f.policy }
+
+// Tenants returns launched tenants in launch order.
+func (f *Fleet) Tenants() []*Tenant { return f.tenants }
+
+// Place asks the placement policy for the device to run the tenant's
+// next round on and accounts the round as in flight there. Tenant round
+// loops call it before every round.
+func (f *Fleet) Place(t *Tenant) *Node {
+	n := f.policy.Pick(f, t)
+	n.inflight++
+	f.Placements++
+	if t.last != nil && t.last != n {
+		f.Migrations++
+	}
+	return n
+}
+
+// roundDone retires a placed round from the node's in-flight count.
+func (f *Fleet) roundDone(n *Node) { n.inflight-- }
+
+// ResetStats clears tenant and fleet counters and re-baselines device
+// busy time (for warmup exclusion, like workload.App.ResetStats).
+func (f *Fleet) ResetStats() {
+	f.Placements = 0
+	f.Migrations = 0
+	for _, n := range f.nodes {
+		n.busyAtReset = n.Device.TotalBusy()
+	}
+	for _, t := range f.tenants {
+		t.ResetStats()
+	}
+}
+
+// BusySince returns the node's exec-engine busy time accumulated since
+// the last ResetStats.
+func (n *Node) BusySince() sim.Duration { return n.Device.TotalBusy() - n.busyAtReset }

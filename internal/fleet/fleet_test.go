@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sim.NewEngine(), Config{Devices: 0}); err == nil {
+		t.Fatal("Devices: 0 should fail")
+	}
+	if _, err := New(sim.NewEngine(), Config{Devices: 1, DFQ: core.DFQConfig{Fleet: NewBoard()}}); err == nil {
+		t.Fatal("pre-set DFQ.Fleet should fail: the fleet installs its own board")
+	}
+	f, err := New(sim.NewEngine(), Config{Devices: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(f.Nodes()) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(f.Nodes()))
+	}
+	for i, n := range f.Nodes() {
+		if n.Device.Name() == "" || n.Kernel.Label != n.Device.Name() {
+			t.Fatalf("node %d: device name %q, kernel label %q", i, n.Device.Name(), n.Kernel.Label)
+		}
+	}
+	if f.Nodes()[0].Device.Name() == f.Nodes()[1].Device.Name() {
+		t.Fatal("device names must be distinct")
+	}
+}
+
+func TestTenantsRunAndMigrationsCost(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{Devices: 2, Policy: NewRoundRobin(), Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var tenants []*Tenant
+	for _, ts := range workload.FleetPopulation(2, "uniform") {
+		tenants = append(tenants, f.Launch(ts))
+	}
+	eng.RunFor(200 * time.Millisecond)
+
+	for _, tn := range tenants {
+		if tn.SetupError() != nil {
+			t.Fatalf("tenant %s setup: %v", tn.Spec.Name, tn.SetupError())
+		}
+		if tn.Rounds == 0 {
+			t.Fatalf("tenant %s made no progress", tn.Spec.Name)
+		}
+		if tn.ServiceTime() <= 0 {
+			t.Fatalf("tenant %s received no device time", tn.Spec.Name)
+		}
+	}
+	if f.Placements == 0 {
+		t.Fatal("no placements recorded")
+	}
+	if f.Board().Episodes == 0 {
+		t.Fatal("no fleet reconciliation episodes: per-device DFQ is not reporting")
+	}
+}
+
+func TestResetStatsRebaselines(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{Devices: 2, Policy: NewLocalitySticky(DefaultStickyDepth), Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tn := f.Launch(workload.FleetPopulation(2, "uniform")[0])
+	eng.RunFor(100 * time.Millisecond)
+	if tn.Rounds == 0 {
+		t.Fatal("no rounds before reset")
+	}
+	f.ResetStats()
+	if tn.Rounds != 0 || tn.ServiceTime() != 0 || f.Placements != 0 {
+		t.Fatalf("reset left rounds=%d service=%v placements=%d",
+			tn.Rounds, tn.ServiceTime(), f.Placements)
+	}
+	eng.RunFor(100 * time.Millisecond)
+	if tn.Rounds == 0 || tn.ServiceTime() <= 0 {
+		t.Fatal("no progress after reset")
+	}
+	for _, n := range f.Nodes() {
+		if n.BusySince() < 0 {
+			t.Fatalf("negative BusySince on %s", n.Device.Name())
+		}
+	}
+}

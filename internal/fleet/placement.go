@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy decides which device serves a tenant's next round. Pick runs
+// in engine context and must be deterministic: same fleet state, same
+// answer.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns the node for the tenant's next round.
+	Pick(f *Fleet, t *Tenant) *Node
+}
+
+// DefaultStickyDepth is the locality-sticky queue-depth threshold, in
+// rounds: a tenant returns to its previous device while fewer rounds
+// than this are in flight there.
+const DefaultStickyDepth = 3
+
+// PolicyNames lists the selectable placement policies in presentation
+// order.
+func PolicyNames() []string {
+	return []string{"rr", "least-loaded", "sticky"}
+}
+
+// NewPolicy constructs a placement policy by name, using default
+// parameters. Recognized names: "rr" ("round-robin"), "least-loaded"
+// ("ll"), "sticky" ("locality-sticky"). An unknown name is an error
+// listing the valid policies.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "rr", "round-robin":
+		return NewRoundRobin(), nil
+	case "least-loaded", "ll":
+		return NewLeastLoaded(), nil
+	case "sticky", "locality-sticky":
+		return NewLocalitySticky(DefaultStickyDepth), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown placement policy %q (valid: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// RoundRobin cycles placements over the devices in index order,
+// ignoring both load and locality. Every round migrates (for a fleet
+// larger than one device), so warm-state tenants pay their working-set
+// reconstruction on nearly every round — the baseline the locality
+// policies improve on.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns the round-robin placement policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(f *Fleet, t *Tenant) *Node {
+	n := f.nodes[p.next%len(f.nodes)]
+	p.next++
+	return n
+}
+
+// LeastLoaded places each round on the device with the fewest rounds in
+// flight. Ties break to the lowest device index — a deterministic rule,
+// so identical fleet states always place identically.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the least-loaded placement policy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (*LeastLoaded) Pick(f *Fleet, t *Tenant) *Node {
+	best := f.nodes[0]
+	for _, n := range f.nodes[1:] {
+		if n.Load() < best.Load() {
+			best = n
+		}
+	}
+	return best
+}
+
+// LocalitySticky returns a tenant to the device that holds its warm
+// working set while that device's queue depth (rounds in flight) is
+// below Depth; past the threshold — or for a tenant's first round — it
+// spills to the least-loaded device. This is MQFQ-Sticky's placement
+// rule: locality is worth queueing for, up to a point.
+type LocalitySticky struct {
+	// Depth is the stick-while-below queue-depth threshold, in rounds.
+	Depth int
+
+	spill LeastLoaded
+}
+
+// NewLocalitySticky returns the sticky policy with the given threshold;
+// depth <= 0 takes DefaultStickyDepth.
+func NewLocalitySticky(depth int) *LocalitySticky {
+	if depth <= 0 {
+		depth = DefaultStickyDepth
+	}
+	return &LocalitySticky{Depth: depth}
+}
+
+// Name implements Policy.
+func (*LocalitySticky) Name() string { return "locality-sticky" }
+
+// Pick implements Policy.
+func (p *LocalitySticky) Pick(f *Fleet, t *Tenant) *Node {
+	if t.last != nil && t.last.Load() < p.Depth {
+		return t.last
+	}
+	return p.spill.Pick(f, t)
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testFleet(t *testing.T, devices int) *Fleet {
+	t.Helper()
+	f, err := New(sim.NewEngine(), Config{Devices: devices})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	f := testFleet(t, 3)
+	p := NewRoundRobin()
+	tn := &Tenant{fleet: f}
+	for i := 0; i < 7; i++ {
+		if got := p.Pick(f, tn); got.Index != i%3 {
+			t.Fatalf("pick %d: got node %d, want %d", i, got.Index, i%3)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinimum(t *testing.T) {
+	f := testFleet(t, 4)
+	f.nodes[0].inflight = 2
+	f.nodes[1].inflight = 1
+	f.nodes[2].inflight = 1
+	f.nodes[3].inflight = 3
+	p := NewLeastLoaded()
+	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 1 {
+		t.Fatalf("got node %d, want 1 (lowest index among minimum load)", got.Index)
+	}
+}
+
+func TestLeastLoadedTieBreakDeterminism(t *testing.T) {
+	// All-equal loads must always resolve to the lowest index: identical
+	// fleet states place identically, run after run.
+	f := testFleet(t, 4)
+	p := NewLeastLoaded()
+	for i := 0; i < 10; i++ {
+		if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 0 {
+			t.Fatalf("iteration %d: got node %d, want 0", i, got.Index)
+		}
+	}
+}
+
+func TestStickyThresholdBoundary(t *testing.T) {
+	f := testFleet(t, 2)
+	p := NewLocalitySticky(3)
+	tn := &Tenant{fleet: f, last: f.nodes[1]}
+
+	// One below the threshold: stick.
+	f.nodes[1].inflight = p.Depth - 1
+	if got := p.Pick(f, tn); got.Index != 1 {
+		t.Fatalf("load %d < depth %d: got node %d, want sticky node 1",
+			p.Depth-1, p.Depth, got.Index)
+	}
+
+	// Exactly at the threshold: spill to least-loaded.
+	f.nodes[1].inflight = p.Depth
+	if got := p.Pick(f, tn); got.Index != 0 {
+		t.Fatalf("load %d = depth %d: got node %d, want spill to node 0",
+			p.Depth, p.Depth, got.Index)
+	}
+}
+
+func TestStickyFirstRoundSpills(t *testing.T) {
+	f := testFleet(t, 3)
+	f.nodes[0].inflight = 1
+	p := NewLocalitySticky(3)
+	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 1 {
+		t.Fatalf("first round: got node %d, want least-loaded node 1", got.Index)
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil || p == nil {
+			t.Fatalf("NewPolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	for alias, want := range map[string]string{
+		"round-robin":     "round-robin",
+		"ll":              "least-loaded",
+		"locality-sticky": "locality-sticky",
+	} {
+		p, err := NewPolicy(alias)
+		if err != nil || p.Name() != want {
+			t.Fatalf("NewPolicy(%q) = %v, %v; want %s", alias, p, err, want)
+		}
+	}
+	_, err := NewPolicy("bogus")
+	if err == nil {
+		t.Fatal("NewPolicy(bogus) should fail")
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not name valid policy %q", err, name)
+		}
+	}
+}

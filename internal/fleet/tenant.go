@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/neon"
+	"repro/internal/sim"
+	"repro/internal/userlib"
+	"repro/internal/workload"
+)
+
+// Tenant is one fleet resource principal: it runs its spec's round loop
+// forever, asking the placement policy for a device before every round.
+// The first touch of a device pays the usual context/channel setup
+// syscalls; thereafter the tenant's warm working set lives on whichever
+// device ran its previous round, and a round placed anywhere else first
+// pays WorkingSet of device time to reconstruct it (data migration plus
+// re-initialization kernels occupying the destination engine) — the
+// locality cost sticky placement exists to avoid.
+type Tenant struct {
+	Spec workload.TenantSpec
+
+	fleet   *Fleet
+	last    *Node
+	clients map[*Node]*userlib.Client
+	tasks   map[*Node]*neon.Task
+	rng     *sim.RNG
+	busy0   sim.Duration
+
+	// Rounds and RoundTime accumulate since the last ResetStats.
+	Rounds    int64
+	RoundTime sim.Duration
+	// Migrations counts rounds that moved off the previous device;
+	// ColdTime is the device time those moves spent rebuilding state.
+	Migrations int64
+	ColdTime   sim.Duration
+	// PerDevice counts rounds completed on each node index.
+	PerDevice []int64
+
+	setupErr error
+}
+
+// Launch starts a tenant's round loop on the fleet.
+func (f *Fleet) Launch(spec workload.TenantSpec) *Tenant {
+	t := &Tenant{
+		Spec:      spec,
+		fleet:     f,
+		clients:   make(map[*Node]*userlib.Client),
+		tasks:     make(map[*Node]*neon.Task),
+		rng:       sim.NewRNG(sim.StreamSeed(f.seed, "tenant", len(f.tenants))),
+		PerDevice: make([]int64, len(f.nodes)),
+	}
+	f.tenants = append(f.tenants, t)
+	f.eng.Spawn("tenant/"+spec.Name, t.run)
+	return t
+}
+
+// SetupError returns any context/channel allocation failure.
+func (t *Tenant) SetupError() error { return t.setupErr }
+
+// AvgRound returns the mean round time since the last ResetStats.
+func (t *Tenant) AvgRound() sim.Duration {
+	if t.Rounds == 0 {
+		return 0
+	}
+	return t.RoundTime / sim.Duration(t.Rounds)
+}
+
+// ServiceTime returns the device time the tenant has received across
+// the fleet since the last ResetStats — including any working-set
+// reconstruction, which is capacity the tenant consumed.
+func (t *Tenant) ServiceTime() sim.Duration {
+	var b sim.Duration
+	for _, task := range t.tasks {
+		b += task.BusyTime()
+	}
+	return b - t.busy0
+}
+
+// ResetStats clears round statistics and re-baselines service time.
+func (t *Tenant) ResetStats() {
+	t.busy0 += t.ServiceTime()
+	t.Rounds = 0
+	t.RoundTime = 0
+	t.Migrations = 0
+	t.ColdTime = 0
+	t.PerDevice = make([]int64, len(t.fleet.nodes))
+}
+
+// clientOn lazily opens the tenant's context and channels on the node,
+// paying the setup syscalls on first touch.
+func (t *Tenant) clientOn(p *sim.Proc, n *Node) (*userlib.Client, error) {
+	if c, ok := t.clients[n]; ok {
+		return c, nil
+	}
+	task := n.Kernel.NewTask(t.Spec.Name)
+	kinds := t.Spec.Channels
+	if len(kinds) == 0 {
+		kinds = []gpu.Kind{gpu.Compute}
+	}
+	c, err := userlib.Open(p, n.Kernel, task, t.Spec.Name, kinds...)
+	if err != nil {
+		return nil, err
+	}
+	t.tasks[n] = task
+	t.clients[n] = c
+	return c, nil
+}
+
+// run is the tenant's placed round loop.
+func (t *Tenant) run(p *sim.Proc) {
+	reqs := t.Spec.Requests()
+	kinds := t.Spec.Channels
+	coldKind := gpu.Compute
+	if len(kinds) > 0 {
+		coldKind = kinds[0]
+	}
+	for {
+		start := p.Now()
+		n := t.fleet.Place(t)
+		client, err := t.clientOn(p, n)
+		if err != nil {
+			t.setupErr = err
+			t.fleet.roundDone(n)
+			return
+		}
+		if t.last != nil && t.last != n && t.Spec.WorkingSet > 0 {
+			// Cold round: rebuild the warm state before the round's own
+			// requests. The reconstruction occupies the destination
+			// engine, so migration costs the fleet real capacity.
+			t.Migrations++
+			t.ColdTime += t.Spec.WorkingSet
+			client.SubmitSync(p, coldKind, t.Spec.WorkingSet)
+		}
+		t.last = n
+
+		p.Sleep(t.rng.Jitter(t.Spec.CPU, t.Spec.Jitter))
+		for _, rq := range reqs {
+			if rq.Trivial || t.Spec.Pipelined {
+				client.Submit(p, rq.Kind, rq.Size)
+			} else {
+				client.SubmitSync(p, rq.Kind, rq.Size)
+			}
+		}
+		client.Fence(p)
+		t.fleet.roundDone(n)
+
+		if off := t.Spec.OffTime(); off > 0 {
+			p.Sleep(off)
+		}
+		t.Rounds++
+		t.PerDevice[n.Index]++
+		t.RoundTime += p.Now().Sub(start)
+	}
+}

@@ -72,6 +72,9 @@ var (
 
 // Config sets the device's capacity and arbitration behaviour.
 type Config struct {
+	// Name identifies the device instance in multi-device fleets
+	// ("dev0", "dev1", ...); single-device stacks may leave it empty.
+	Name string
 	// MaxContexts is the number of hardware contexts (48 on the GTX670).
 	MaxContexts int
 	// MemoryBytes is onboard RAM (2 GiB on the GTX670).
@@ -258,6 +261,9 @@ func New(e *sim.Engine, cfg Config) *Device {
 
 // Engine returns the simulation engine the device runs on.
 func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Name returns the device instance name from its Config.
+func (d *Device) Name() string { return d.cfg.Name }
 
 // Costs returns the platform latency model in use.
 func (d *Device) Costs() cost.Model { return d.cost }

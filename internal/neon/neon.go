@@ -99,6 +99,11 @@ type Kernel struct {
 	nextTaskID gpu.TaskID
 	byPage     map[*mmio.Page]*ChannelState
 
+	// Label identifies this kernel instance in multi-device fleets; it
+	// defaults to the device's configured name and is what per-device
+	// schedulers report to fleet-wide reconciliation.
+	Label string
+
 	// Policy, when non-nil, enables protected channel allocation.
 	Policy *ChannelPolicy
 
@@ -120,6 +125,7 @@ func NewKernel(dev *gpu.Device, sched Scheduler) *Kernel {
 		sched:  sched,
 		tasks:  make(map[gpu.TaskID]*Task),
 		byPage: make(map[*mmio.Page]*ChannelState),
+		Label:  dev.Name(),
 	}
 	sched.Start(k)
 	return k

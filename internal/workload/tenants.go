@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TenantSpec describes one fleet tenant: a request mix (Spec) plus the
+// locality state the placement layer manages.
+type TenantSpec struct {
+	Spec
+
+	// WorkingSet is the device time needed to rebuild the tenant's warm
+	// state (data migration plus re-initialization kernels) when a
+	// round is placed on a device other than the previous round's. Zero
+	// means the tenant is stateless and migrates for free.
+	WorkingSet sim.Duration
+
+	// Jitter is the per-round CPU-time jitter fraction. Identical
+	// tenants with zero jitter run in deterministic lockstep, which no
+	// real tenant population does — and which would let stateless
+	// round-robin placement accidentally behave as if it were sticky.
+	Jitter float64
+}
+
+// TenantsPerDevice is how many tenants FleetPopulation launches per
+// device — enough that every device stays saturated even under placement
+// skew.
+const TenantsPerDevice = 3
+
+// FleetMixes lists the tenant mixes FleetPopulation understands, in
+// presentation order.
+func FleetMixes() []string { return []string{"uniform", "mixed"} }
+
+// FleetPopulation returns a tenant population sized to saturate the
+// given number of devices (TenantsPerDevice each, so 2–8 devices get
+// 6–24 tenants):
+//
+//   - "uniform": identical saturating medium-request tenants with a
+//     working set several rounds large — the cleanest fairness
+//     measurement, and the mix where placement locality matters most.
+//   - "mixed": per device, one heavy large-request tenant, one light
+//     small-request tenant, and one bursty tenant that sleeps half of
+//     every cycle, with working sets scaled to their footprints.
+//
+// Unknown mixes panic: the mix set is a fixed part of the experiment
+// grid, not user input.
+func FleetPopulation(devices int, mix string) []TenantSpec {
+	const us = time.Microsecond
+	var out []TenantSpec
+	switch mix {
+	case "uniform":
+		for i := 0; i < devices*TenantsPerDevice; i++ {
+			s := Throttle(300*us, 0)
+			s.Name = fmt.Sprintf("uni-%02d", i)
+			out = append(out, TenantSpec{Spec: s, WorkingSet: 1500 * us, Jitter: 0.2})
+		}
+	case "mixed":
+		for i := 0; i < devices; i++ {
+			heavy := Throttle(850*us, 0)
+			heavy.Name = fmt.Sprintf("heavy-%02d", i)
+			out = append(out, TenantSpec{Spec: heavy, WorkingSet: 2000 * us, Jitter: 0.2})
+
+			light := Throttle(80*us, 0)
+			light.Name = fmt.Sprintf("light-%02d", i)
+			out = append(out, TenantSpec{Spec: light, WorkingSet: 600 * us, Jitter: 0.2})
+
+			bursty := Throttle(200*us, 0.5)
+			bursty.Name = fmt.Sprintf("bursty-%02d", i)
+			out = append(out, TenantSpec{Spec: bursty, WorkingSet: 400 * us, Jitter: 0.2})
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown fleet mix %q (valid: uniform, mixed)", mix))
+	}
+	return out
+}

@@ -80,6 +80,10 @@ func BenchmarkFig4Serial(b *testing.B)    { benchExperimentAt(b, "fig4", 1) }
 func BenchmarkFig4Parallel4(b *testing.B) { benchExperimentAt(b, "fig4", 4) }
 func BenchmarkFig9Serial(b *testing.B)    { benchExperimentAt(b, "fig9", 1) }
 func BenchmarkFig9Parallel4(b *testing.B) { benchExperimentAt(b, "fig9", 4) }
+func BenchmarkServeSerial(b *testing.B)   { benchExperimentAt(b, "serve", 1) }
+func BenchmarkServeParallel4(b *testing.B) {
+	benchExperimentAt(b, "serve", 4)
+}
 
 // BenchmarkSimEngine measures raw event throughput of the simulation
 // substrate: how many scheduled callbacks the engine dispatches per

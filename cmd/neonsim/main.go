@@ -10,6 +10,7 @@
 //	neonsim -exp fig9 -seed 7          # different deterministic seed
 //	neonsim -exp all -parallel 4       # bound the scenario worker pool
 //	neonsim -exp all -json BENCH.json  # machine-readable timings
+//	neonsim -exp serve -load 0.8,1.0,1.2  # custom load-factor sweep
 //
 // Scenarios within each experiment run on a worker pool (-parallel,
 // default NumCPU); the emitted tables are byte-identical at any width.
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
@@ -45,6 +48,23 @@ type benchRecord struct {
 	Seed       int64   `json:"seed"`
 }
 
+// parseLoads turns the -load flag into a load-factor sweep; the empty
+// string keeps the experiment's default.
+func parseLoads(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -load value %q (want positive load factors like 0.8,1.0,1.2)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		which    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
@@ -53,8 +73,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "scenario worker pool width (1 = serial)")
 		jsonOut  = flag.String("json", "", "write per-experiment wall-clock and throughput JSON to this file")
+		loads    = flag.String("load", "", "comma-separated load factors for the serve experiment (default 0.6,0.9,1.1,1.4)")
 	)
 	flag.Parse()
+
+	loadSweep, err := parseLoads(*loads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range exp.Registry() {
@@ -69,6 +96,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	opts.Loads = loadSweep
 
 	var records []benchRecord
 	run := func(e exp.Experiment) {

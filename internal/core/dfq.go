@@ -114,6 +114,15 @@ type DisengagedFairQueueing struct {
 	Cycles int64
 	// Denials counts task-intervals denied, for tests.
 	Denials int64
+
+	// Lead-bound instrumentation (see LeadBound): the largest
+	// virtual-time lead any backlogged task has held over the system
+	// virtual time, and the count of episodes where a lead exceeded the
+	// bound — zero unless fairness is broken.
+	MaxLead        sim.Duration
+	LeadViolations int64
+	maxFreeRun     sim.Duration
+	maxWindow      sim.Duration
 }
 
 // NewDisengagedFairQueueing returns the scheduler with the given
@@ -161,6 +170,17 @@ func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
 		return s.est
 	}
 	return 0
+}
+
+// LeadBound returns the fairness bound the denial rule enforces: a
+// backlogged task's virtual time may lead the system virtual time by at
+// most one free-run horizon (past which it is denied and stops being
+// charged) plus one engagement window (the most it can be charged in
+// the episode that pushes it over). Both terms vary per episode, so the
+// bound is stated over the largest observed values. The property test
+// TestDFQLeadBoundInvariant asserts MaxLead never exceeds it.
+func (d *DisengagedFairQueueing) LeadBound() sim.Duration {
+	return d.maxFreeRun + d.maxWindow
 }
 
 // Denied reports whether the task is excluded from the current free run.
@@ -350,6 +370,28 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 		if !s.activeAtBarrier && s.vt < d.sysVT {
 			s.vt = d.sysVT
 		}
+	}
+
+	// Instrumentation: after charging and system-virtual-time advance,
+	// every backlogged task's lead must sit within LeadBound — it was
+	// under the previous free-run horizon when last charged (or it would
+	// have been denied), and one episode charges at most one window. The
+	// current window joins the bound before the check; the upcoming free
+	// run only after, since no task has run under it yet.
+	if window > d.maxWindow {
+		d.maxWindow = window
+	}
+	for _, t := range active {
+		lead := d.st[t].vt - d.sysVT
+		if lead > d.MaxLead {
+			d.MaxLead = lead
+		}
+		if lead > d.maxFreeRun+d.maxWindow {
+			d.LeadViolations++
+		}
+	}
+	if freeRun > d.maxFreeRun {
+		d.maxFreeRun = freeRun
 	}
 
 	// Step 3: deny the next interval to tasks so far ahead that even an

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/quick.golden from the current output")
+
+// TestQuickGolden diffs the full `-exp all -quick` table output against
+// the committed golden file, so any drift in any experiment's numbers
+// is an explicit, reviewed change rather than a silent one. Regenerate
+// deliberately with:
+//
+//	go test ./internal/exp -run TestQuickGolden -update
+//
+// The output is deterministic across machines and -parallel widths
+// (DESIGN.md section 4), which is what makes a byte-exact golden file
+// possible at all.
+func TestQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full -exp all -quick grid (~10s)")
+	}
+	got := RenderAll(Quick())
+	path := filepath.Join("testdata", "quick.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v (run with -update to create it)", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("output drifted from %s at line %d:\n  want: %q\n  got:  %q\n"+
+				"If the change is intended, regenerate with -update and review the diff.",
+				path, i+1, wantLines[i], gotLines[i])
+		}
+	}
+	t.Fatalf("output drifted from %s: length %d lines vs golden %d lines. "+
+		"If the change is intended, regenerate with -update and review the diff.",
+		path, len(gotLines), len(wantLines))
+}

@@ -1,6 +1,10 @@
 package exp
 
-import "repro/internal/report"
+import (
+	"strings"
+
+	"repro/internal/report"
+)
 
 // Experiment is a named, runnable reproduction of one paper artifact.
 type Experiment struct {
@@ -27,7 +31,23 @@ func Registry() []Experiment {
 		{"ablation-stats", "sampled estimates vs hardware statistics", AblationStats},
 		{"ablation-params", "configuration parameter sweeps", AblationParams},
 		{"fleet", "multi-device placement policies and fleet-wide fairness", FleetExp},
+		{"serve", "open-loop traffic: latency SLOs, admission control, overload", ServeExp},
 	}
+}
+
+// RenderAll runs every registered experiment and concatenates their
+// tables in registry order — the stable portion of `neonsim -exp all`
+// output (per-run timing lines excluded). It is deterministic at any
+// Options.Parallel width; the golden regression test diffs it against
+// testdata/quick.golden so any table drift is an explicit, reviewed
+// change.
+func RenderAll(opts Options) string {
+	var b strings.Builder
+	for _, e := range Registry() {
+		b.WriteString(e.Run(opts).String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // ByID returns the experiment with the given ID.

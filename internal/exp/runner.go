@@ -35,6 +35,9 @@ type Options struct {
 	// engine and a seed forked from (Seed, experiment, scenario index),
 	// so results are identical at any width. Zero means runtime.NumCPU.
 	Parallel int
+	// Loads overrides the serve experiment's load-factor sweep
+	// (cmd/neonsim -load); nil means DefaultServeLoads.
+	Loads []float64
 }
 
 // DefaultPenalty is the graphics arbitration bias observed in Section

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// TestServeSerialParallelIdentical: the serve table must be
+// byte-identical at any worker-pool width.
+func TestServeSerialParallelIdentical(t *testing.T) {
+	serial := Quick()
+	serial.Parallel = 1
+	parallel := Quick()
+	parallel.Parallel = 4
+	a := ServeExp(serial).String()
+	b := ServeExp(parallel).String()
+	if a != b {
+		t.Fatalf("serve output differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestServeShape pins the serve experiment's qualitative claims at
+// quick scale: scheduler divergence across the load sweep, fair
+// queueing's victim protection under the adversarial burst, and
+// unbounded queue growth without admission control.
+func TestServeShape(t *testing.T) {
+	opts := Quick()
+	cell := func(load float64, sched string, admit bool) ServeResult {
+		return RunServeCell(opts, load, sched, "sticky", admit)
+	}
+
+	low := map[string]ServeResult{}
+	high := map[string]ServeResult{}
+	for _, s := range ServeSchedNames() {
+		low[s] = cell(0.6, s, true)
+		high[s] = cell(1.4, s, true)
+	}
+
+	// Fair queueing protects the victim probe's tail under the MMPP
+	// adversary: its p99 must beat both timeslice variants on both sides
+	// of saturation, with room (2x).
+	for _, loadSet := range []map[string]ServeResult{low, high} {
+		for _, ts := range []string{"ts", "dts"} {
+			if 2*loadSet["dfq"].VictimP99 > loadSet[ts].VictimP99 {
+				t.Errorf("victim p99 not protected: dfq %v vs %s %v (load %.1f)",
+					loadSet["dfq"].VictimP99, ts, loadSet[ts].VictimP99, loadSet[ts].Load)
+			}
+		}
+	}
+
+	// Shed rates diverge across schedulers, and crossing load 1.0 drives
+	// DFQ's shed rate up substantially: below saturation fair queueing
+	// serves nearly everything; overload must shed.
+	if d := high["ts"].ShedRate - high["dfq"].ShedRate; d < 0.1 {
+		t.Errorf("shed rates converged at load 1.4: ts %.2f vs dfq %.2f",
+			high["ts"].ShedRate, high["dfq"].ShedRate)
+	}
+	if low["dfq"].ShedRate > 0.2 {
+		t.Errorf("dfq shed %.2f at load 0.6, want mostly admitted", low["dfq"].ShedRate)
+	}
+	if high["dfq"].ShedRate < low["dfq"].ShedRate+0.2 {
+		t.Errorf("dfq shed did not rise across saturation: %.2f -> %.2f",
+			low["dfq"].ShedRate, high["dfq"].ShedRate)
+	}
+	// And goodput saturates near capacity under DFQ rather than collapsing.
+	if high["dfq"].GoodputPerSec < 2*high["ts"].GoodputPerSec {
+		t.Errorf("dfq goodput %.0f/s should far exceed engaged timeslice %.0f/s under overload",
+			high["dfq"].GoodputPerSec, high["ts"].GoodputPerSec)
+	}
+
+	// Admission bounds the backlog; without it overload queues grow with
+	// the window — double the window, roughly double the backlog.
+	bound := ServeAdmitDepth * ServeDevices
+	if high["dfq"].QueueDepth > bound {
+		t.Errorf("admission-on queue depth %d exceeds bound %d", high["dfq"].QueueDepth, bound)
+	}
+	off := cell(1.4, "dfq", false)
+	if off.QueueDepth < 5*bound {
+		t.Errorf("admission-off queue depth %d at load 1.4, want >> bound %d", off.QueueDepth, bound)
+	}
+	long := opts
+	long.Measure = 2 * opts.Measure
+	offLong := RunServeCell(long, 1.4, "dfq", "sticky", false)
+	if offLong.QueueDepth < off.QueueDepth*3/2 {
+		t.Errorf("admission-off backlog did not grow with the window: %d after %v vs %d after %v",
+			off.QueueDepth, opts.Measure, offLong.QueueDepth, long.Measure)
+	}
+	if off.ShedRate != 0 {
+		t.Errorf("admission-off cell shed %.2f, want 0 (nothing refuses work)", off.ShedRate)
+	}
+}
+
+// TestServeLoadKnob: Options.Loads must override the sweep (the
+// cmd/neonsim -load flag).
+func TestServeLoadKnob(t *testing.T) {
+	o := Quick()
+	o.Loads = []float64{0.5}
+	tbl := ServeExp(o)
+	// 1 load x 3 scheds x 2 placements + 3 admission-off rows.
+	if got, want := len(tbl.Rows), 9; got != want {
+		t.Fatalf("with -load 0.5: %d rows, want %d", got, want)
+	}
+	for _, row := range tbl.Rows {
+		if row[0] != "0.50" {
+			t.Fatalf("unexpected load column %q", row[0])
+		}
+	}
+	if len(Quick().ServeLoads()) != len(DefaultServeLoads) {
+		t.Fatal("default sweep lost")
+	}
+}
+
+// TestServePopulationCalibration: the population's aggregate offered
+// device time must equal load x devices within a few percent.
+func TestServePopulationCalibration(t *testing.T) {
+	for _, load := range []float64{0.5, 1.0, 1.5} {
+		var offered float64
+		for _, s := range ServePopulation(2, load) {
+			offered += s.Arrival.MeanRate() * s.Tenant.Mix[0].Size.Seconds()
+		}
+		want := load * 2
+		if offered < want*0.99 || offered > want*1.01 {
+			t.Fatalf("load %.1f: offered %.3f device-sec/s, want %.3f", load, offered, want)
+		}
+	}
+	// The burst adversary must burst: peak rate far above its mean.
+	streams := ServePopulation(2, 1.0)
+	adv := streams[len(streams)-1]
+	mmpp, ok := adv.Arrival.(*traffic.MMPP)
+	if !ok {
+		t.Fatal("adversary is not MMPP")
+	}
+	if mmpp.BurstRate < 3*mmpp.MeanRate() {
+		t.Fatalf("adversary burst rate %.0f/s not bursty vs mean %.0f/s", mmpp.BurstRate, mmpp.MeanRate())
+	}
+}

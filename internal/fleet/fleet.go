@@ -39,19 +39,28 @@ type Node struct {
 	Index  int
 	Device *gpu.Device
 	Kernel *neon.Kernel
-	Sched  *core.DisengagedFairQueueing
+	Sched  neon.Scheduler
 
-	// inflight counts tenant rounds placed on this node and not yet
-	// finished — the queue depth (in rounds) placement policies compare.
+	// inflight counts placed-but-unfinished work units on this node —
+	// tenant rounds for closed-loop tenants, individual requests for the
+	// open-loop serving layer. It is the queue depth placement policies
+	// compare and admission controllers bound.
 	inflight int
 
 	// busyAtReset snapshots the exec engine for utilization reporting.
 	busyAtReset sim.Duration
 }
 
-// Load returns the node's congestion signal: tenant rounds in flight
-// (placed but not completed), the fleet's queue depth in rounds.
+// Load returns the node's congestion signal: work units in flight
+// (placed but not completed) — the node's queue depth.
 func (n *Node) Load() int { return n.inflight }
+
+// DFQ returns the node's scheduler as Disengaged Fair Queueing, or nil
+// when the fleet was built with a different policy.
+func (n *Node) DFQ() *core.DisengagedFairQueueing {
+	d, _ := n.Sched.(*core.DisengagedFairQueueing)
+	return d
+}
 
 // Config assembles a fleet.
 type Config struct {
@@ -62,9 +71,14 @@ type Config struct {
 	// GPU configures every device instance; a zero MaxContexts means
 	// gpu.DefaultConfig(). The per-instance Name is set by the fleet.
 	GPU gpu.Config
+	// Sched names the per-device scheduling policy: "dfq" (default),
+	// "timeslice"/"ts", or "dts". Only DFQ participates in fleet-wide
+	// virtual-time reconciliation; the timeslice policies are per-device
+	// fair only, which is exactly what the serve experiment compares.
+	Sched string
 	// DFQ configures every per-device scheduler; zero fields take the
 	// paper's defaults. The Fleet reconciliation hook is installed by
-	// the fleet and must be left nil.
+	// the fleet and must be left nil. Ignored unless Sched is "dfq".
 	DFQ core.DFQConfig
 	// RunLimit is each kernel's over-long request kill threshold.
 	RunLimit sim.Duration
@@ -100,6 +114,10 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 	if policy == nil {
 		policy = NewRoundRobin()
 	}
+	schedName := cfg.Sched
+	if schedName == "" {
+		schedName = "dfq"
+	}
 	f := &Fleet{eng: eng, policy: policy, board: NewBoard(), seed: cfg.Seed}
 	for i := 0; i < cfg.Devices; i++ {
 		gcfg := cfg.GPU
@@ -108,9 +126,19 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 		}
 		gcfg.Name = fmt.Sprintf("dev%d", i)
 		dev := gpu.New(eng, gcfg)
-		dcfg := cfg.DFQ
-		dcfg.Fleet = f.board
-		sched := core.NewDisengagedFairQueueing(dcfg)
+		var sched neon.Scheduler
+		switch schedName {
+		case "dfq", "disengaged-fair-queueing":
+			dcfg := cfg.DFQ
+			dcfg.Fleet = f.board
+			sched = core.NewDisengagedFairQueueing(dcfg)
+		default:
+			s, err := core.New(schedName)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: %w", err)
+			}
+			sched = s
+		}
 		k := neon.NewKernel(dev, sched)
 		k.RequestRunLimit = cfg.RunLimit
 		f.nodes = append(f.nodes, &Node{Index: i, Device: dev, Kernel: k, Sched: sched})
@@ -148,6 +176,40 @@ func (f *Fleet) Place(t *Tenant) *Node {
 
 // roundDone retires a placed round from the node's in-flight count.
 func (f *Fleet) roundDone(n *Node) { n.inflight-- }
+
+// PlaceRequest asks the placement policy for the device to serve one
+// open-loop request of the tenant's stream and accounts it in flight
+// there. Unlike Place (whose round loop records locality itself), the
+// tenant's warm-state device advances here, at placement time — the
+// serving layer's dispatchers drain queues asynchronously, so placement
+// order is the only coherent notion of "previous device". It reports
+// whether the request moved off that previous device.
+func (f *Fleet) PlaceRequest(t *Tenant) (n *Node, migrated bool) {
+	n = f.policy.Pick(f, t)
+	n.inflight++
+	f.Placements++
+	if t.last != nil && t.last != n {
+		f.Migrations++
+		migrated = true
+	}
+	t.last = n
+	return n, migrated
+}
+
+// RequestDone retires a placed request from the node's in-flight count
+// (on completion, abort, or shed-after-placement).
+func (f *Fleet) RequestDone(n *Node) { n.inflight-- }
+
+// QueueDepth returns the fleet-wide queue depth: work units placed and
+// not yet finished, summed over nodes. This is the congestion signal
+// front-door admission control bounds.
+func (f *Fleet) QueueDepth() int {
+	depth := 0
+	for _, n := range f.nodes {
+		depth += n.inflight
+	}
+	return depth
+}
 
 // ResetStats clears tenant and fleet counters and re-baselines device
 // busy time (for warmup exclusion, like workload.App.ResetStats).

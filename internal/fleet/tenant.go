@@ -39,8 +39,12 @@ type Tenant struct {
 	setupErr error
 }
 
-// Launch starts a tenant's round loop on the fleet.
-func (f *Fleet) Launch(spec workload.TenantSpec) *Tenant {
+// NewTenant registers a tenant with the fleet without starting the
+// closed-loop round loop. The open-loop serving layer (internal/traffic)
+// uses this: it drives the tenant's requests from an arrival process
+// instead, but still wants fleet placement, per-node depth accounting,
+// and the tenant's lazily opened per-device clients.
+func (f *Fleet) NewTenant(spec workload.TenantSpec) *Tenant {
 	t := &Tenant{
 		Spec:      spec,
 		fleet:     f,
@@ -50,6 +54,12 @@ func (f *Fleet) Launch(spec workload.TenantSpec) *Tenant {
 		PerDevice: make([]int64, len(f.nodes)),
 	}
 	f.tenants = append(f.tenants, t)
+	return t
+}
+
+// Launch starts a tenant's round loop on the fleet.
+func (f *Fleet) Launch(spec workload.TenantSpec) *Tenant {
+	t := f.NewTenant(spec)
 	f.eng.Spawn("tenant/"+spec.Name, t.run)
 	return t
 }
@@ -85,6 +95,17 @@ func (t *Tenant) ResetStats() {
 	t.ColdTime = 0
 	t.PerDevice = make([]int64, len(t.fleet.nodes))
 }
+
+// Client lazily opens the tenant's context and channels on the node,
+// paying the setup syscalls on first touch (the exported form for the
+// serving layer's dispatchers).
+func (t *Tenant) Client(p *sim.Proc, n *Node) (*userlib.Client, error) {
+	return t.clientOn(p, n)
+}
+
+// Task returns the tenant's kernel task on the node, nil before the
+// first Client call there.
+func (t *Tenant) Task(n *Node) *neon.Task { return t.tasks[n] }
 
 // clientOn lazily opens the tenant's context and channels on the node,
 // paying the setup syscalls on first touch.

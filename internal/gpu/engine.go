@@ -150,13 +150,13 @@ func (en *engine) execute(p *sim.Proc, r *Request) {
 	en.curGate = nil
 	en.curTimer = nil
 	if r.Aborted {
-		r.done.Open()
+		r.finish()
 		return
 	}
 	r.Completed = end
 	r.ch.RefCount = r.Ref
 	r.ch.Completions++
-	r.done.Open()
+	r.finish()
 }
 
 // abortIfContext aborts the in-flight request if it belongs to ctx.

@@ -110,8 +110,25 @@ type Request struct {
 	Completed sim.Time
 	Aborted   bool
 
+	// OnDone, if set, is invoked exactly once, in engine context, when
+	// the request completes or aborts — immediately before the done gate
+	// opens. It is the completion hook open-loop serving layers use to
+	// stamp latencies without dedicating a waiter process per request.
+	// Install it before the request can finish (for a request of nonzero
+	// size, any time up to its completion instant).
+	OnDone func(*Request)
+
 	ch   *Channel
 	done *sim.Gate
+}
+
+// finish invokes the completion hook (once) and opens the done gate.
+func (r *Request) finish() {
+	if fn := r.OnDone; fn != nil {
+		r.OnDone = nil
+		fn(r)
+	}
+	r.done.Open()
 }
 
 // Channel returns the channel the request was submitted to.
@@ -355,12 +372,12 @@ func (d *Device) KillContext(c *Context) {
 	for _, ch := range c.channels {
 		for _, r := range ch.ring {
 			r.Aborted = true
-			r.done.Open()
+			r.finish()
 		}
 		ch.ring = nil
 		for _, r := range ch.staged {
 			r.Aborted = true
-			r.done.Open()
+			r.finish()
 		}
 		ch.staged = nil
 		ch.engine().removeChannel(ch)

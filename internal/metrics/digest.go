@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// digestSubBits sets the Digest's resolution: each power-of-two octave
+// is split into 2^digestSubBits linear sub-buckets.
+const digestSubBits = 5
+
+// digestSubCount is the number of linear sub-buckets per octave (32).
+const digestSubCount = 1 << digestSubBits
+
+// Digest is a streaming quantile sketch for latency observations — an
+// HDR-histogram-style structure: exact counts below 32 ns, then 32
+// linear sub-buckets per power-of-two octave. Adds are O(1), memory is
+// bounded (~1900 buckets covers 1 ns to ~292 years), digests merge by
+// bucket-wise addition, and everything is deterministic — no sampling,
+// no randomized compaction — so parallel and serial experiment runs
+// stay byte-identical.
+//
+// Accuracy: a reported quantile is the midpoint of the bucket holding
+// the true rank-q observation, so its relative error is at most half a
+// sub-bucket width — 1/64 (~1.6%) — for values >= 32 ns, and zero below.
+// Reported values are additionally clamped to the observed [min, max],
+// making one-point distributions exact. TestDigestQuantileAccuracy pins
+// the bound against exact sorted-sample quantiles.
+type Digest struct {
+	counts []int64
+	total  int64
+	min    int64
+	max    int64
+}
+
+// digestBucket maps a non-negative value to its bucket index.
+func digestBucket(v int64) int {
+	if v < digestSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // floor(log2 v) >= digestSubBits
+	shift := exp - digestSubBits
+	base := (exp - digestSubBits + 1) << digestSubBits
+	return base + int((v>>shift)&(digestSubCount-1))
+}
+
+// digestMid returns the midpoint value of a bucket.
+func digestMid(b int) int64 {
+	if b < digestSubCount {
+		return int64(b)
+	}
+	block := b >> digestSubBits
+	sub := int64(b & (digestSubCount - 1))
+	shift := block - 1
+	low := (digestSubCount + sub) << shift
+	return low + (int64(1)<<shift)/2
+}
+
+// Add records one duration observation. Negative durations count as 0.
+func (d *Digest) Add(v time.Duration) {
+	x := int64(v)
+	if x < 0 {
+		x = 0
+	}
+	b := digestBucket(x)
+	if b >= len(d.counts) {
+		grown := make([]int64, b+1)
+		copy(grown, d.counts)
+		d.counts = grown
+	}
+	d.counts[b]++
+	if d.total == 0 || x < d.min {
+		d.min = x
+	}
+	if d.total == 0 || x > d.max {
+		d.max = x
+	}
+	d.total++
+}
+
+// N returns the observation count.
+func (d *Digest) N() int64 { return d.total }
+
+// Min and Max return the exact observed extremes (0 when empty).
+func (d *Digest) Min() time.Duration { return time.Duration(d.min) }
+func (d *Digest) Max() time.Duration { return time.Duration(d.max) }
+
+// Quantile returns the value at quantile q in [0, 1] — the bucket
+// midpoint of the ceil(q*N)-th smallest observation, clamped to the
+// observed range. An empty digest returns 0.
+func (d *Digest) Quantile(q float64) time.Duration {
+	if d.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(d.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.total {
+		rank = d.total
+	}
+	var cum int64
+	for b, c := range d.counts {
+		cum += c
+		if cum >= rank {
+			v := digestMid(b)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(d.max)
+}
+
+// Merge folds another digest's observations into this one.
+func (d *Digest) Merge(o *Digest) {
+	if o.total == 0 {
+		return
+	}
+	if len(o.counts) > len(d.counts) {
+		grown := make([]int64, len(o.counts))
+		copy(grown, d.counts)
+		d.counts = grown
+	}
+	for b, c := range o.counts {
+		d.counts[b] += c
+	}
+	if d.total == 0 || o.min < d.min {
+		d.min = o.min
+	}
+	if d.total == 0 || o.max > d.max {
+		d.max = o.max
+	}
+	d.total += o.total
+}
+
+// Reset clears the digest for reuse (warmup exclusion).
+func (d *Digest) Reset() {
+	for i := range d.counts {
+		d.counts[i] = 0
+	}
+	d.total, d.min, d.max = 0, 0, 0
+}

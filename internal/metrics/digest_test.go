@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile returns the ceil(q*n)-th smallest sample — the same
+// rank definition Digest.Quantile uses, so the two are comparable.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestDigestQuantileAccuracy compares p50/p95/p99 against exact
+// sorted-sample quantiles on uniform, heavy-tailed, and constant
+// distributions. The digest's stated error is half a sub-bucket (1/64
+// relative, ~1.6%); the test allows 2% for rank-boundary effects.
+func TestDigestQuantileAccuracy(t *testing.T) {
+	const n = 20000
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() time.Duration{
+		"uniform": func() time.Duration { // 1 µs .. 1 ms
+			return time.Microsecond + time.Duration(rng.Int63n(int64(999*time.Microsecond)))
+		},
+		"heavy-tailed": func() time.Duration { // Pareto, alpha 1.3, scale 50 µs
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			return time.Duration(float64(50*time.Microsecond) / math.Pow(u, 1/1.3))
+		},
+		"constant": func() time.Duration { return 250 * time.Microsecond },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			var d Digest
+			samples := make([]time.Duration, n)
+			for i := range samples {
+				samples[i] = draw()
+				d.Add(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.50, 0.95, 0.99} {
+				exact := exactQuantile(samples, q)
+				got := d.Quantile(q)
+				relErr := math.Abs(float64(got-exact)) / float64(exact)
+				if relErr > 0.02 {
+					t.Errorf("q=%.2f: digest %v vs exact %v (rel err %.2f%%, want <= 2%%)",
+						q, got, exact, 100*relErr)
+				}
+			}
+			if name == "constant" {
+				// One-point distributions must be exact: the reported value
+				// is clamped to the observed min/max.
+				for _, q := range []float64{0, 0.5, 1} {
+					if got := d.Quantile(q); got != 250*time.Microsecond {
+						t.Errorf("constant q=%.1f: got %v, want 250µs exactly", q, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDigestMerge: merging two halves must be equivalent to observing
+// the whole stream in one digest.
+func TestDigestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Digest
+	for i := 0; i < 4000; i++ {
+		v := time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q=%.2f: merged %v != whole %v", q, got, want)
+		}
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged extremes [%v, %v] != whole [%v, %v]", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+// TestDigestEdgeCases: empty digests, zero/negative values, and Reset.
+func TestDigestEdgeCases(t *testing.T) {
+	var d Digest
+	if d.Quantile(0.5) != 0 || d.N() != 0 {
+		t.Fatal("empty digest should report 0")
+	}
+	d.Add(-time.Second) // clamps to 0
+	d.Add(0)
+	d.Add(10 * time.Nanosecond) // sub-32ns values are exact
+	if got := d.Quantile(1); got != 10*time.Nanosecond {
+		t.Fatalf("max quantile = %v, want 10ns", got)
+	}
+	if got := d.Quantile(0); got != 0 {
+		t.Fatalf("min quantile = %v, want 0", got)
+	}
+	d.Reset()
+	if d.N() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not clear the digest")
+	}
+	d.Add(time.Hour) // far octave after reset still lands correctly
+	if got := d.Quantile(0.5); got != time.Hour {
+		t.Fatalf("post-reset quantile = %v, want 1h", got)
+	}
+}
+
+// TestDigestBucketMonotone: bucket indexing must be monotone and
+// midpoints must land inside their buckets across octave boundaries.
+func TestDigestBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 1 << 20, 1<<20 + 1, 1 << 40} {
+		b := digestBucket(v)
+		if b < prev {
+			t.Fatalf("bucket(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+		if got := digestBucket(digestMid(b)); got != b {
+			t.Errorf("midpoint of bucket %d (value %d) maps to bucket %d", b, digestMid(b), got)
+		}
+	}
+}

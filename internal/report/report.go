@@ -87,3 +87,8 @@ func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 func US(d time.Duration) string {
 	return fmt.Sprintf("%.1fus", float64(d)/float64(time.Microsecond))
 }
+
+// MS formats a duration in milliseconds (latency-percentile scale).
+func MS(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -126,7 +126,13 @@ func (e *Engine) Schedule(t Time, fn func()) *Timer {
 	return &Timer{engine: e, stopped: stopped, when: t}
 }
 
-// After runs fn after duration d. Negative durations fire immediately.
+// After runs fn after duration d. Zero and negative durations both
+// schedule fn at the current instant, but never inline: fn runs after
+// the current event returns, and after every event already queued for
+// this same instant — events at one time fire in insertion order, so a
+// same-tick After from inside a running event always lands at the back
+// of the current tick. Model code may rely on this FIFO-within-tick
+// ordering (TestZeroAfterRunsAfterQueuedSameTimeEvents pins it).
 func (e *Engine) After(d Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0

@@ -56,6 +56,38 @@ func TestNegativeAfterFiresImmediately(t *testing.T) {
 	}
 }
 
+// TestZeroAfterRunsAfterQueuedSameTimeEvents pins the documented
+// same-tick ordering of After: a zero (or negative) duration scheduled
+// from inside a running event fires at the current instant but after
+// every event already queued for that instant — insertion order decides
+// within a tick, so the late After always lands at the back.
+func TestZeroAfterRunsAfterQueuedSameTimeEvents(t *testing.T) {
+	for _, d := range []Duration{0, -7} {
+		e := NewEngine()
+		var got []string
+		e.After(10, func() {
+			// Two events already queued for t=10 when the After is issued.
+			got = append(got, "first")
+			e.After(d, func() { got = append(got, "late-after") })
+		})
+		e.After(10, func() { got = append(got, "second") })
+		e.After(10, func() { got = append(got, "third") })
+		e.Run()
+		want := []string{"first", "second", "third", "late-after"}
+		if len(got) != len(want) {
+			t.Fatalf("d=%v: ran %v, want %v", d, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("d=%v: order %v, want %v", d, got, want)
+			}
+		}
+		if e.Now() != 10 {
+			t.Fatalf("d=%v: same-tick After advanced the clock to %v", d, e.Now())
+		}
+	}
+}
+
 func TestSchedulePastPanics(t *testing.T) {
 	e := NewEngine()
 	e.After(10, func() {})

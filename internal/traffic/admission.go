@@ -1,0 +1,44 @@
+package traffic
+
+// Admission is the front-door admission controller: it sheds arriving
+// requests while the fleet-wide queue depth (placed-but-unfinished
+// requests, including those still waiting in dispatcher queues) is at
+// or above MaxDepth. Bounding depth bounds queueing delay — under
+// overload the system converts unbounded latency growth into an
+// explicit shed rate, which is the difference between a brown-out and
+// a melt-down. MaxDepth <= 0 disables control: every arrival is
+// admitted and queues grow without bound when offered load exceeds
+// capacity (the serve experiment's admission-off rows demonstrate
+// exactly that).
+type Admission struct {
+	// MaxDepth is the fleet queue-depth bound; <= 0 disables shedding.
+	MaxDepth int
+
+	// Admitted and Shed count front-door decisions since the last
+	// ResetStats.
+	Admitted int64
+	Shed     int64
+}
+
+// Admit decides one arrival given the current fleet queue depth and
+// records the decision.
+func (a *Admission) Admit(depth int) bool {
+	if a.MaxDepth > 0 && depth >= a.MaxDepth {
+		a.Shed++
+		return false
+	}
+	a.Admitted++
+	return true
+}
+
+// ShedRate returns the shed fraction of all decisions (0 when idle).
+func (a *Admission) ShedRate() float64 {
+	total := a.Admitted + a.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Shed) / float64(total)
+}
+
+// ResetStats clears the decision counters (warmup exclusion).
+func (a *Admission) ResetStats() { a.Admitted, a.Shed = 0, 0 }

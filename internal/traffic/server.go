@@ -1,0 +1,285 @@
+// Package traffic is the open-loop request-driven serving layer: the
+// bridge from the paper's closed-loop co-runner evaluation to the
+// ROADMAP's serving regime — open-loop arrivals, tail-latency
+// percentiles, and explicit overload behavior.
+//
+// A Server owns a device fleet (internal/fleet) and a set of per-tenant
+// Streams. Each stream's arrival process (deterministic, Poisson, MMPP
+// bursty, diurnal-modulated) generates requests with open-loop
+// semantics: arrivals never wait for completions, so offered load is a
+// property of the source, not of the system's speed — exactly the
+// regime where fair queueing, sticky placement, and throttling
+// decisions get stressed. A front-door admission controller sheds
+// arrivals when the fleet-wide queue depth exceeds a bound; admitted
+// requests are placed per-request by the fleet's placement policy and
+// drained by per-(tenant, device) dispatchers. Completion latencies
+// (sojourn time: completion minus arrival) are stamped through the
+// gpu.Request completion hook into a streaming quantile digest per
+// tenant, alongside goodput and shed-rate counters.
+package traffic
+
+import (
+	"repro/internal/fleet"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Stream is one tenant's open-loop request source: its fleet identity
+// (name, request size, working set) and its arrival process.
+type Stream struct {
+	// Tenant carries the tenant's name, single-request service size
+	// (Mix[0].Size), channel kinds, and working set — usually built with
+	// workload.OpenLoopTenant.
+	Tenant workload.TenantSpec
+	// Arrival generates the stream's inter-arrival gaps. The instance is
+	// owned by this stream: construct a fresh one per scenario.
+	Arrival Arrival
+}
+
+// StreamStats is one stream's serving measurement since the last
+// ResetStats.
+type StreamStats struct {
+	// Arrivals counts open-loop arrivals; Shed the ones refused at the
+	// front door; Completed the ones that finished service; Aborted the
+	// ones killed with their context.
+	Arrivals  int64
+	Shed      int64
+	Completed int64
+	Aborted   int64
+	// Latency is the sojourn-time digest (completion minus arrival,
+	// including dispatcher queueing, placement cold time, ring queueing,
+	// and service).
+	Latency metrics.Digest
+	// ColdTime is device time spent rebuilding the tenant's working set
+	// after placement moved it across devices.
+	ColdTime sim.Duration
+}
+
+// GoodputPerSec returns completed requests per second over the window.
+func (s *StreamStats) GoodputPerSec(window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / window.Seconds()
+}
+
+// ShedRate returns the stream's shed fraction of arrivals.
+func (s *StreamStats) ShedRate() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(s.Arrivals)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Fleet configures the device pool (devices, placement policy,
+	// per-device scheduler). The fleet's Seed also feeds stream RNGs.
+	Fleet fleet.Config
+	// AdmitDepth bounds the fleet-wide queue depth; <= 0 disables
+	// admission control.
+	AdmitDepth int
+	// Streams is the tenant population, one open-loop source each.
+	Streams []Stream
+}
+
+// stream is the server's per-stream state.
+type stream struct {
+	spec  Stream
+	ft    *fleet.Tenant
+	rng   *sim.RNG
+	stats StreamStats
+	disp  map[*fleet.Node]*dispatcher
+	size  sim.Duration
+	kind  gpu.Kind
+}
+
+// Server drives open-loop request streams through a placed, admitted,
+// fair-shared device fleet.
+type Server struct {
+	fleet   *fleet.Fleet
+	adm     Admission
+	streams []*stream
+}
+
+// New builds the fleet, registers one tenant per stream, and spawns the
+// arrival generators. The simulation (engine Run/RunFor) then serves
+// traffic until stopped.
+func New(eng *sim.Engine, cfg Config) (*Server, error) {
+	f, err := fleet.New(eng, cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{fleet: f, adm: Admission{MaxDepth: cfg.AdmitDepth}}
+	for i, spec := range cfg.Streams {
+		st := &stream{
+			spec: spec,
+			ft:   f.NewTenant(spec.Tenant),
+			rng:  sim.NewRNG(sim.StreamSeed(cfg.Fleet.Seed, "traffic", i)),
+			disp: make(map[*fleet.Node]*dispatcher),
+			size: spec.Tenant.Mix[0].Size,
+			kind: spec.Tenant.Mix[0].Kind,
+		}
+		s.streams = append(s.streams, st)
+		eng.Spawn("arrivals/"+spec.Tenant.Name, s.generator(st))
+	}
+	return s, nil
+}
+
+// Fleet returns the device pool the server places onto.
+func (s *Server) Fleet() *fleet.Fleet { return s.fleet }
+
+// Admission returns the front-door controller (its counters are live).
+func (s *Server) Admission() *Admission { return &s.adm }
+
+// Stats returns stream i's measurement, in Config.Streams order.
+func (s *Server) Stats(i int) *StreamStats { return &s.streams[i].stats }
+
+// SetupError returns the first stream client setup failure, if any.
+func (s *Server) SetupError() error {
+	for _, st := range s.streams {
+		for _, n := range s.fleet.Nodes() {
+			if d := st.disp[n]; d != nil && d.err != nil {
+				return d.err
+			}
+		}
+	}
+	return nil
+}
+
+// ResetStats clears stream, admission, and fleet counters (warmup
+// exclusion). In-flight requests stay in flight; their latencies land
+// in the new window, as on a live system.
+func (s *Server) ResetStats() {
+	s.adm.ResetStats()
+	s.fleet.ResetStats()
+	for _, st := range s.streams {
+		st.stats = StreamStats{}
+	}
+}
+
+// generator returns the stream's open-loop arrival loop: sleep the
+// process gap, admit-or-shed, place, enqueue — never wait for service.
+func (s *Server) generator(st *stream) func(*sim.Proc) {
+	return func(p *sim.Proc) {
+		for {
+			p.Sleep(st.spec.Arrival.Next(p.Now(), st.rng))
+			s.arrive(p, st)
+		}
+	}
+}
+
+// arrive handles one arrival at the front door.
+func (s *Server) arrive(p *sim.Proc, st *stream) {
+	st.stats.Arrivals++
+	if !s.adm.Admit(s.fleet.QueueDepth()) {
+		st.stats.Shed++
+		return
+	}
+	n, migrated := s.fleet.PlaceRequest(st.ft)
+	d := st.disp[n]
+	if d == nil {
+		d = &dispatcher{srv: s, st: st, node: n,
+			gate: p.Engine().NewGate("dispatch-" + st.spec.Tenant.Name)}
+		st.disp[n] = d
+		p.Engine().Spawn("dispatch/"+st.spec.Tenant.Name, d.run)
+	}
+	if d.err != nil {
+		// The tenant's client on this node failed to set up; nothing will
+		// ever drain here.
+		s.fleet.RequestDone(n)
+		st.stats.Aborted++
+		return
+	}
+	d.queue = append(d.queue, item{
+		arrival: p.Now(),
+		cold:    migrated && st.spec.Tenant.WorkingSet > 0,
+	})
+	d.gate.Broadcast()
+}
+
+// item is one admitted request waiting in a dispatcher queue.
+type item struct {
+	arrival sim.Time
+	cold    bool
+}
+
+// dispatcher drains one (stream, node) queue: it submits requests in
+// arrival order through the tenant's client on that node. Submission
+// may block on the node scheduler's interception (that is how engaged
+// schedulers delay tenants), but completion is never waited for — the
+// channel FIFO and the completion hook carry the rest.
+type dispatcher struct {
+	srv   *Server
+	st    *stream
+	node  *fleet.Node
+	queue []item
+	gate  *sim.Gate
+	err   error
+}
+
+func (d *dispatcher) run(p *sim.Proc) {
+	client, err := d.st.ft.Client(p, d.node)
+	if err != nil {
+		d.err = err
+		d.drainFailed()
+		return
+	}
+	for {
+		if len(d.queue) == 0 {
+			p.Wait(d.gate)
+			continue
+		}
+		it := d.queue[0]
+		d.queue = d.queue[1:]
+		if task := d.st.ft.Task(d.node); task == nil || !task.Alive {
+			// The tenant's context on this node was killed (run-limit or
+			// DoS protection): the queued request can never be served here.
+			d.srv.fleet.RequestDone(d.node)
+			d.st.stats.Aborted++
+			continue
+		}
+		if it.cold {
+			// Rebuild the warm working set ahead of the request, on the
+			// same channel: FIFO ordering makes the reconstruction complete
+			// first, and its device time is real capacity spent.
+			client.SubmitDetached(p, d.st.kind, d.st.spec.Tenant.WorkingSet)
+			d.st.stats.ColdTime += d.st.spec.Tenant.WorkingSet
+		}
+		r := client.SubmitDetached(p, d.st.kind, d.st.size)
+		d.hookCompletion(it, r)
+	}
+}
+
+// hookCompletion stamps the request's sojourn latency at completion.
+// The hook runs in engine context the instant the device finishes (or
+// aborts) the request — no polling process per request.
+func (d *dispatcher) hookCompletion(it item, r *gpu.Request) {
+	done := func(r *gpu.Request) {
+		d.srv.fleet.RequestDone(d.node)
+		if r.Aborted {
+			d.st.stats.Aborted++
+			return
+		}
+		d.st.stats.Completed++
+		d.st.stats.Latency.Add(r.Completed.Sub(it.arrival))
+	}
+	if r.IsDone() {
+		done(r)
+		return
+	}
+	r.OnDone = done
+}
+
+// drainFailed retires items queued before a client setup failure so
+// the fleet depth does not leak; once err is set, arrive retires new
+// placements to this node directly.
+func (d *dispatcher) drainFailed() {
+	for range d.queue {
+		d.srv.fleet.RequestDone(d.node)
+		d.st.stats.Aborted++
+	}
+	d.queue = nil
+}

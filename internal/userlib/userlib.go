@@ -70,6 +70,18 @@ func (c *Client) Kinds() []gpu.Kind { return c.order }
 // rings the doorbell. It does not wait for completion. The store may
 // fault (and block p) if the scheduler has engaged the channel.
 func (c *Client) Submit(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
+	r := c.SubmitDetached(p, kind, size)
+	c.outstanding = append(c.outstanding, r)
+	return r
+}
+
+// SubmitDetached stages and submits a request without adding it to the
+// outstanding set: the caller never fences or waits on it through this
+// client. Open-loop serving dispatchers use it — completion is observed
+// through the request's own done hook, and tracking every in-flight
+// request in the fence list would grow without bound under sustained
+// overload. Like Submit, the doorbell store may fault and block p.
+func (c *Client) SubmitDetached(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
 	ch := c.channels[kind]
 	r := ch.Stage(size, kind)
 	if c.TrapPerRequest {
@@ -80,7 +92,6 @@ func (c *Client) Submit(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Requ
 		p.Sleep(cost)
 	}
 	ch.Reg.Store(p, r.Ref)
-	c.outstanding = append(c.outstanding, r)
 	return r
 }
 

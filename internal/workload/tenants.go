@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/gpu"
 	"repro/internal/sim"
 )
 
@@ -23,6 +24,24 @@ type TenantSpec struct {
 	// real tenant population does — and which would let stateless
 	// round-robin placement accidentally behave as if it were sticky.
 	Jitter float64
+}
+
+// OpenLoopTenant returns a TenantSpec shaped for the open-loop serving
+// layer (internal/traffic): requests arrive from an arrival process
+// rather than a round loop, so the spec carries no CPU think time and a
+// single-request mix of the given service size. WorkingSet is the usual
+// warm-state reconstruction cost a migrated request pays first.
+func OpenLoopTenant(name string, size, workingSet sim.Duration) TenantSpec {
+	return TenantSpec{
+		Spec: Spec{
+			Name:         name,
+			Area:         "Serving",
+			Mix:          []Req{{Size: size, Kind: gpu.Compute}},
+			PaperRoundUS: float64(size) / float64(time.Microsecond),
+			PaperReqUS:   float64(size) / float64(time.Microsecond),
+		},
+		WorkingSet: workingSet,
+	}
 }
 
 // TenantsPerDevice is how many tenants FleetPopulation launches per

@@ -4,7 +4,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/neon"
 	"repro/internal/sim"
@@ -84,6 +87,8 @@ func BenchmarkServeSerial(b *testing.B)   { benchExperimentAt(b, "serve", 1) }
 func BenchmarkServeParallel4(b *testing.B) {
 	benchExperimentAt(b, "serve", 4)
 }
+func BenchmarkHeteroSerial(b *testing.B)    { benchExperimentAt(b, "hetero", 1) }
+func BenchmarkHeteroParallel4(b *testing.B) { benchExperimentAt(b, "hetero", 4) }
 
 // BenchmarkSimEngine measures raw event throughput of the simulation
 // substrate: how many scheduled callbacks the engine dispatches per
@@ -152,6 +157,61 @@ func BenchmarkDFQCycle(b *testing.B) {
 		rig.Engine.RunFor(30 * time.Millisecond)
 	}
 }
+
+// BenchmarkDFQCycleConsumerClass is BenchmarkDFQCycle on a
+// consumer-class device: the same engagement/free-run machinery with
+// the class-factor conversion (Work normalization, scaled execution) on
+// every hot path. Comparing the pair isolates the cost of
+// heterogeneity-normalized accounting.
+func BenchmarkDFQCycleConsumerClass(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	cfg := gpu.DefaultConfig()
+	cfg.Class, _ = cost.ClassByName("consumer")
+	dev := gpu.New(eng, cfg)
+	k := neon.NewKernel(dev, core.NewDisengagedFairQueueing(core.DefaultDFQConfig()))
+	k.RequestRunLimit = time.Second
+	dct, _ := workload.ByName("DCT")
+	thr := workload.Throttle(64*time.Microsecond, 0)
+	rng := sim.NewRNG(1)
+	workload.Launch(k, dct, rng.ForkNamed("app", 0))
+	workload.Launch(k, thr, rng.ForkNamed("app", 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(30 * time.Millisecond)
+	}
+}
+
+// benchPlaceRequest measures the request-level placement hot path on an
+// 8-node mixed-class fleet: one policy.Pick plus depth accounting per
+// iteration. The fastest-fit/sticky pair shows what the class-factor
+// scoring costs over the class-blind policy.
+func benchPlaceRequest(b *testing.B, policyName string) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	policy, err := fleet.NewPolicy(policyName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := fleet.New(eng, fleet.Config{
+		Devices: 8,
+		Classes: []string{"k20", "consumer", "nextgen", "consumer"},
+		Policy:  policy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn := f.NewTenant(workload.OpenLoopTenant("bench", 100*time.Microsecond, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _ := f.PlaceRequest(tn)
+		f.RequestDone(n)
+	}
+}
+
+func BenchmarkPlaceRequestMixedSticky(b *testing.B)      { benchPlaceRequest(b, "sticky") }
+func BenchmarkPlaceRequestMixedFastestFit(b *testing.B)  { benchPlaceRequest(b, "fastest-fit") }
+func BenchmarkPlaceRequestMixedClassSticky(b *testing.B) { benchPlaceRequest(b, "class-sticky") }
 
 type benchNoSched struct{}
 

@@ -11,6 +11,7 @@
 //	neonsim -exp all -parallel 4       # bound the scenario worker pool
 //	neonsim -exp all -json BENCH.json  # machine-readable timings
 //	neonsim -exp serve -load 0.8,1.0,1.2  # custom load-factor sweep
+//	neonsim -exp hetero -classes k20,consumer  # custom fleet class mix
 //
 // Scenarios within each experiment run on a worker pool (-parallel,
 // default NumCPU); the emitted tables are byte-identical at any width.
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/exp"
 )
 
@@ -46,6 +48,24 @@ type benchRecord struct {
 	Parallel   int     `json:"parallel"`
 	Quick      bool    `json:"quick"`
 	Seed       int64   `json:"seed"`
+}
+
+// parseClasses turns the -classes flag into a device-class mix; the
+// empty string keeps each experiment's default. Every name must be a
+// known cost.Class.
+func parseClasses(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if _, err := cost.ClassByName(name); err != nil {
+			return nil, fmt.Errorf("bad -classes value %q: %v", name, err)
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 // parseLoads turns the -load flag into a load-factor sweep; the empty
@@ -74,10 +94,16 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "scenario worker pool width (1 = serial)")
 		jsonOut  = flag.String("json", "", "write per-experiment wall-clock and throughput JSON to this file")
 		loads    = flag.String("load", "", "comma-separated load factors for the serve experiment (default 0.6,0.9,1.1,1.4)")
+		classes  = flag.String("classes", "", "comma-separated device classes (k20,consumer,nextgen) for the hetero and serve fleets")
 	)
 	flag.Parse()
 
 	loadSweep, err := parseLoads(*loads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
+		os.Exit(2)
+	}
+	classMix, err := parseClasses(*classes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
 		os.Exit(2)
@@ -97,6 +123,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Parallel = *parallel
 	opts.Loads = loadSweep
+	opts.Classes = classMix
 
 	var records []benchRecord
 	run := func(e exp.Experiment) {

@@ -17,9 +17,10 @@
 //   - internal/core     — the schedulers: Timeslice with overuse control,
 //     Disengaged Timeslice, Disengaged Fair Queueing, plus the direct
 //     access baseline and an oracle-statistics ablation
-//   - internal/fleet    — the multi-device layer: device pools, placement
-//     policies (round-robin, least-loaded, locality-sticky), and
-//     fleet-wide virtual-time reconciliation
+//   - internal/fleet    — the multi-device layer: class-aware device
+//     pools, placement policies (round-robin, least-loaded,
+//     locality-sticky, fastest-fit, class-aware sticky), and fleet-wide
+//     virtual-time reconciliation in normalized work units
 //   - internal/userlib  — the user-space runtime library analog
 //   - internal/workload — Table 1 application models, Throttle, and
 //     adversarial workloads

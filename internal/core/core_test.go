@@ -294,7 +294,7 @@ func TestDFQVirtualTimeInvariants(t *testing.T) {
 		h.eng.After(sim.Duration(i)*25*time.Millisecond, func() {
 			sys := sched.SystemVirtualTime()
 			for _, task := range []*neon.Task{a.task, b.task} {
-				if sched.VirtualTime(task) < sys-time.Nanosecond {
+				if sched.VirtualTime(task) < sys-Work(time.Nanosecond) {
 					// Active tasks may lag sys only transiently within a
 					// maintenance step; never persistently by design.
 					t.Errorf("task vt %v below system vt %v", sched.VirtualTime(task), sys)

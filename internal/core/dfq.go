@@ -28,6 +28,12 @@ type DFQConfig struct {
 	// fleet-wide board at every engagement episode (see FleetVT). Single-
 	// device operation leaves it nil and denial stays purely local.
 	Fleet FleetVT
+	// RawCharges disables class normalization: virtual time is charged
+	// in observed device time regardless of the device's class speed —
+	// the pre-heterogeneity accounting, kept as the ablation the hetero
+	// experiment compares against. On a mixed fleet it systematically
+	// overcharges (and thus starves) tenants stuck on slow devices.
+	RawCharges bool
 }
 
 // FleetVT is the fleet-wide virtual-time exchange of a multi-device
@@ -41,9 +47,13 @@ type DFQConfig struct {
 // principals whose lead reaches its free-run horizon — so a tenant
 // consuming on several devices at once is throttled everywhere, not
 // only where it happens to be sampled.
+//
+// All quantities are in normalized Work, not device time: each device
+// scales its charges by its own class speed before reporting, so the
+// board compares like with like even when the fleet mixes generations.
 type FleetVT interface {
-	ReconcileEpisode(device string, charges map[string]sim.Duration,
-		active map[string]bool) map[string]sim.Duration
+	ReconcileEpisode(device string, charges map[string]Work,
+		active map[string]bool) map[string]Work
 }
 
 // DefaultDFQConfig returns the paper's configuration.
@@ -68,9 +78,9 @@ const (
 
 // dfqTask is the per-task scheduler state.
 type dfqTask struct {
-	// vt is the task's virtual time: its estimated cumulative device
-	// usage (probabilistically updated, per the paper).
-	vt sim.Duration
+	// vt is the task's virtual time: its estimated cumulative usage in
+	// normalized work units (probabilistically updated, per the paper).
+	vt Work
 	// est is the estimated mean request service time from the most recent
 	// successful sampling run.
 	est sim.Duration
@@ -108,7 +118,8 @@ type DisengagedFairQueueing struct {
 	sampled   *neon.Task
 	st        map[*neon.Task]*dfqTask
 	admitGate *sim.Gate
-	sysVT     sim.Duration
+	sysVT     Work
+	speed     float64 // device class speed factor, set at Start
 
 	// Cycles counts completed engagement episodes, for tests.
 	Cycles int64
@@ -118,11 +129,11 @@ type DisengagedFairQueueing struct {
 	// Lead-bound instrumentation (see LeadBound): the largest
 	// virtual-time lead any backlogged task has held over the system
 	// virtual time, and the count of episodes where a lead exceeded the
-	// bound — zero unless fairness is broken.
-	MaxLead        sim.Duration
+	// bound — zero unless fairness is broken. All in normalized work.
+	MaxLead        Work
 	LeadViolations int64
-	maxFreeRun     sim.Duration
-	maxWindow      sim.Duration
+	maxFreeRun     Work
+	maxWindow      Work
 }
 
 // NewDisengagedFairQueueing returns the scheduler with the given
@@ -153,16 +164,18 @@ func (d *DisengagedFairQueueing) Name() string { return "disengaged-fair-queuein
 // Config returns the active configuration.
 func (d *DisengagedFairQueueing) Config() DFQConfig { return d.cfg }
 
-// VirtualTime returns the task's current virtual time, for tests.
-func (d *DisengagedFairQueueing) VirtualTime(t *neon.Task) sim.Duration {
+// VirtualTime returns the task's current virtual time in normalized
+// work, for tests.
+func (d *DisengagedFairQueueing) VirtualTime(t *neon.Task) Work {
 	if s := d.st[t]; s != nil {
 		return s.vt
 	}
 	return 0
 }
 
-// SystemVirtualTime returns the system-wide virtual time.
-func (d *DisengagedFairQueueing) SystemVirtualTime() sim.Duration { return d.sysVT }
+// SystemVirtualTime returns the system-wide virtual time in normalized
+// work.
+func (d *DisengagedFairQueueing) SystemVirtualTime() Work { return d.sysVT }
 
 // Estimate returns the task's sampled mean request size, for tests.
 func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
@@ -176,10 +189,11 @@ func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
 // backlogged task's virtual time may lead the system virtual time by at
 // most one free-run horizon (past which it is denied and stops being
 // charged) plus one engagement window (the most it can be charged in
-// the episode that pushes it over). Both terms vary per episode, so the
+// the episode that pushes it over), both converted to normalized work
+// at this device's class speed. Both terms vary per episode, so the
 // bound is stated over the largest observed values. The property test
 // TestDFQLeadBoundInvariant asserts MaxLead never exceeds it.
-func (d *DisengagedFairQueueing) LeadBound() sim.Duration {
+func (d *DisengagedFairQueueing) LeadBound() Work {
 	return d.maxFreeRun + d.maxWindow
 }
 
@@ -192,8 +206,18 @@ func (d *DisengagedFairQueueing) Denied(t *neon.Task) bool {
 // Start implements neon.Scheduler.
 func (d *DisengagedFairQueueing) Start(k *neon.Kernel) {
 	d.k = k
+	d.speed = k.Device().ClassSpeed()
 	d.admitGate = k.Engine().NewGate("dfq-admit")
 	k.Engine().Spawn("sched/dfq", d.run)
+}
+
+// chargeSpeed is the device-time-to-work conversion factor the ledger
+// uses: the device's class speed, or 1 under the RawCharges ablation.
+func (d *DisengagedFairQueueing) chargeSpeed() float64 {
+	if d.cfg.RawCharges {
+		return 1
+	}
+	return d.speed
 }
 
 // TaskAdmitted implements neon.Scheduler.
@@ -321,10 +345,17 @@ func (d *DisengagedFairQueueing) run(p *sim.Proc) {
 //
 // Active tasks that were permitted to run are charged the interval in
 // proportion to their mean sampled request sizes — the round-robin
-// arbitration assumption. Tasks that spent the interval denied consumed
-// nothing and are charged nothing, but still count as active (they are
-// waiting, not idle), so they neither forfeit nor accrue credit.
+// arbitration assumption. The device-time charge is converted to
+// normalized work at the device's class speed (see Work), so ledgers
+// stay comparable across a mixed fleet. Tasks that spent the interval
+// denied consumed nothing and are charged nothing, but still count as
+// active (they are waiting, not idle), so they neither forfeit nor
+// accrue credit.
 func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duration) {
+	speed := d.chargeSpeed()
+	windowW := WorkFor(window, speed)
+	freeRunW := WorkFor(freeRun, speed)
+
 	var estSum sim.Duration
 	var active, charged []*neon.Task
 	for _, t := range d.k.Tasks() {
@@ -339,12 +370,12 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	}
 
 	// Step 1: advance each running task's virtual time by its estimated
-	// share of the elapsed interval.
-	charges := make(map[*neon.Task]sim.Duration, len(charged))
+	// share of the elapsed interval, normalized to work units.
+	charges := make(map[*neon.Task]Work, len(charged))
 	if estSum > 0 {
 		for _, t := range charged {
 			s := d.st[t]
-			delta := sim.Duration(float64(window) * float64(s.est) / float64(estSum))
+			delta := WorkFor(sim.Duration(float64(window)*float64(s.est)/float64(estSum)), speed)
 			s.vt += delta
 			charges[t] = delta
 		}
@@ -378,8 +409,8 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	// have been denied), and one episode charges at most one window. The
 	// current window joins the bound before the check; the upcoming free
 	// run only after, since no task has run under it yet.
-	if window > d.maxWindow {
-		d.maxWindow = window
+	if windowW > d.maxWindow {
+		d.maxWindow = windowW
 	}
 	for _, t := range active {
 		lead := d.st[t].vt - d.sysVT
@@ -390,17 +421,19 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 			d.LeadViolations++
 		}
 	}
-	if freeRun > d.maxFreeRun {
-		d.maxFreeRun = freeRun
+	if freeRunW > d.maxFreeRun {
+		d.maxFreeRun = freeRunW
 	}
 
 	// Step 3: deny the next interval to tasks so far ahead that even an
-	// exclusive interval would not let the slowest catch past them. With
-	// a fleet exchange attached, the decision uses fleet-wide leads —
-	// this device's charges folded with every other device's — so a
-	// principal cannot gain extra shares by spreading across devices.
+	// exclusive interval would not let the slowest catch past them. The
+	// horizon is the free run converted to this device's work rate: what
+	// the device could retire while the task sits out. With a fleet
+	// exchange attached, the decision uses fleet-wide leads — this
+	// device's charges folded with every other device's — so a principal
+	// cannot gain extra shares by spreading across devices.
 	if d.cfg.Fleet != nil {
-		named := make(map[string]sim.Duration, len(charges))
+		named := make(map[string]Work, len(charges))
 		for t, delta := range charges {
 			named[t.Name] += delta
 		}
@@ -410,13 +443,13 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 		}
 		leads := d.cfg.Fleet.ReconcileEpisode(d.k.Label, named, activeNames)
 		for _, t := range d.k.Tasks() {
-			d.state(t).denied = leads[t.Name] >= freeRun
+			d.state(t).denied = leads[t.Name] >= freeRunW
 		}
 		return
 	}
 	for _, t := range d.k.Tasks() {
 		s := d.state(t)
-		s.denied = s.vt-d.sysVT >= freeRun
+		s.denied = s.vt-d.sysVT >= freeRunW
 	}
 }
 

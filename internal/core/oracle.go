@@ -22,9 +22,10 @@ type OracleFairQueueing struct {
 	interval sim.Duration
 
 	k         *neon.Kernel
+	speed     float64 // device class speed factor, set at Start
 	st        map[*neon.Task]*oracleTask
 	admitGate *sim.Gate
-	sysVT     sim.Duration
+	sysVT     Work
 
 	// Intervals counts completed accounting rounds, for tests.
 	Intervals int64
@@ -33,7 +34,7 @@ type OracleFairQueueing struct {
 }
 
 type oracleTask struct {
-	vt       sim.Duration
+	vt       Work
 	lastBusy sim.Duration
 	denied   bool
 }
@@ -49,8 +50,9 @@ func NewOracleFairQueueing(interval sim.Duration) *OracleFairQueueing {
 // Name implements neon.Scheduler.
 func (o *OracleFairQueueing) Name() string { return "oracle-fair-queueing" }
 
-// VirtualTime returns the task's virtual time, for tests.
-func (o *OracleFairQueueing) VirtualTime(t *neon.Task) sim.Duration {
+// VirtualTime returns the task's virtual time in normalized work, for
+// tests.
+func (o *OracleFairQueueing) VirtualTime(t *neon.Task) Work {
 	if s := o.st[t]; s != nil {
 		return s.vt
 	}
@@ -66,6 +68,7 @@ func (o *OracleFairQueueing) Denied(t *neon.Task) bool {
 // Start implements neon.Scheduler.
 func (o *OracleFairQueueing) Start(k *neon.Kernel) {
 	o.k = k
+	o.speed = k.Device().ClassSpeed()
 	o.admitGate = k.Engine().NewGate("oracle-admit")
 	k.Engine().Spawn("sched/oracle", o.run)
 }
@@ -104,14 +107,15 @@ func (o *OracleFairQueueing) run(p *sim.Proc) {
 		o.Intervals++
 		o.k.EnforceRunLimit()
 
-		// Step 1: charge true per-task usage, read from the device.
+		// Step 1: charge true per-task usage, read from the device and
+		// normalized to work units at the device's class speed.
 		var active []*neon.Task
 		for _, t := range o.k.Tasks() {
 			s := o.state(t)
 			busy := t.BusyTime()
 			delta := busy - s.lastBusy
 			s.lastBusy = busy
-			s.vt += delta
+			s.vt += WorkFor(delta, o.speed)
 			if delta > 0 || t.PendingRequests() > 0 || t.Gate().Waiters() > 0 {
 				active = append(active, t)
 			}
@@ -141,9 +145,10 @@ func (o *OracleFairQueueing) run(p *sim.Proc) {
 		}
 
 		// Step 3: deny tasks too far ahead; admit the rest.
+		horizon := WorkFor(o.interval, o.speed)
 		for _, t := range o.k.Tasks() {
 			s := o.state(t)
-			denied := s.vt-o.sysVT >= o.interval
+			denied := s.vt-o.sysVT >= horizon
 			if denied && !s.denied {
 				o.Denials++
 				o.k.Engage(t)

@@ -26,15 +26,22 @@ const DefaultSlice = 30 * time.Millisecond
 // protected), paying the full per-request cost. In the disengaged form
 // the holder's pages are mapped for direct access during its slice, so
 // interception costs are paid only by tasks trying to run out of turn.
+//
+// Overuse is accounted in normalized work (drain time past the slice
+// boundary scaled by the device's class speed), and a turn is forfeited
+// once the debt reaches one slice's worth of work at that device — so
+// the overuse ledger means the same thing on every class of a mixed
+// fleet.
 type Timeslice struct {
 	slice      sim.Duration
 	disengaged bool
 
 	k         *neon.Kernel
+	speed     float64 // device class speed factor, set at Start
 	rotation  []*neon.Task
 	next      int
 	holder    *neon.Task
-	overuse   map[*neon.Task]sim.Duration
+	overuse   map[*neon.Task]Work
 	admitGate *sim.Gate
 
 	// SlicesGranted counts slices actually granted, for tests.
@@ -45,7 +52,7 @@ type Timeslice struct {
 
 // NewTimeslice returns the engaged variant: every request is intercepted.
 func NewTimeslice(slice sim.Duration) *Timeslice {
-	return &Timeslice{slice: slice, overuse: make(map[*neon.Task]sim.Duration)}
+	return &Timeslice{slice: slice, overuse: make(map[*neon.Task]Work)}
 }
 
 // NewDisengagedTimeslice returns the disengaged variant: the token holder
@@ -70,15 +77,20 @@ func (ts *Timeslice) Slice() sim.Duration { return ts.slice }
 // Holder returns the current token holder (nil between slices).
 func (ts *Timeslice) Holder() *neon.Task { return ts.holder }
 
-// Overuse returns the task's accrued overuse charge.
-func (ts *Timeslice) Overuse(t *neon.Task) sim.Duration { return ts.overuse[t] }
+// Overuse returns the task's accrued overuse charge in normalized work.
+func (ts *Timeslice) Overuse(t *neon.Task) Work { return ts.overuse[t] }
 
 // Start implements neon.Scheduler.
 func (ts *Timeslice) Start(k *neon.Kernel) {
 	ts.k = k
+	ts.speed = k.Device().ClassSpeed()
 	ts.admitGate = k.Engine().NewGate("ts-admit")
 	k.Engine().Spawn("sched/"+ts.Name(), ts.run)
 }
+
+// sliceWork is one slice converted to this device's work rate: the debt
+// quantum a forfeited turn repays.
+func (ts *Timeslice) sliceWork() Work { return WorkFor(ts.slice, ts.speed) }
 
 // TaskAdmitted implements neon.Scheduler.
 func (ts *Timeslice) TaskAdmitted(t *neon.Task) {
@@ -143,7 +155,7 @@ func (ts *Timeslice) run(p *sim.Proc) {
 			}
 			res := ts.k.Drain(p, []*neon.Task{t})
 			if t.Alive {
-				ts.overuse[t] += res.Overuse(t, deadline)
+				ts.overuse[t] += WorkFor(res.Overuse(t, deadline), ts.speed)
 			}
 		}
 	}
@@ -170,8 +182,8 @@ func (ts *Timeslice) pick() *neon.Task {
 		if !t.Alive {
 			continue
 		}
-		if ts.overuse[t] >= ts.slice {
-			ts.overuse[t] -= ts.slice
+		if quantum := ts.sliceWork(); ts.overuse[t] >= quantum {
+			ts.overuse[t] -= quantum
 			ts.TurnsSkipped++
 			continue
 		}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// Work is the normalized accounting unit of every fair-queueing ledger
+// in this package: observed device time scaled by the executing
+// device's class speed factor, i.e. nanoseconds of *reference-class*
+// device time. On a heterogeneous fleet a second of consumer-card time
+// and a second of K20 time are different amounts of service; charging
+// virtual time in Work makes per-tenant ledgers comparable across
+// classes, so fleet-wide reconciliation (FleetVT) and the lead-bound
+// fairness invariant are meaningful on mixed fleets — the
+// heterogeneity-normalized effective-throughput framing of Gavel.
+//
+// On a single reference-class device Work coincides numerically with
+// sim.Duration, which is why the single-device experiments reproduce
+// the paper unchanged.
+type Work int64
+
+// WorkFor converts observed device time on a device of the given class
+// speed into normalized work. A zero speed is treated as the reference
+// factor so unstarted schedulers stay well-defined.
+func WorkFor(d sim.Duration, speed float64) Work {
+	if speed == 1 || speed == 0 {
+		return Work(d)
+	}
+	return Work(float64(d) * speed)
+}
+
+// Duration reports the work as reference-class device time.
+func (w Work) Duration() sim.Duration { return sim.Duration(w) }
+
+func (w Work) String() string { return sim.Duration(w).String() }

@@ -4,9 +4,21 @@
 // traps, page-fault interception, NEON's per-fault buffer scanning, GPU
 // context switches, polling granularity — is a field here, so schedulers
 // contain no magic numbers and parameter ablations are plain sweeps.
+//
+// The package also owns the device-class registry: production fleets mix
+// accelerator generations, where a second of device time on one card is
+// not a second on another. A Class names a generation and carries its
+// relative speed factor; Model.ForClass derives the class's latency
+// model from the calibrated reference. Everything above this layer
+// (gpu execution, normalized fair-queueing accounting, placement) reads
+// speed factors from here.
 package cost
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Model is the set of platform latencies, all in virtual time.
 type Model struct {
@@ -69,3 +81,78 @@ func Default() Model {
 // InterceptCost is the full per-request price of fault-based capture:
 // trap plus buffer-scan manipulation.
 func (m Model) InterceptCost() time.Duration { return m.FaultTrap + m.FaultScan }
+
+// Class is one device generation of a heterogeneous fleet: a name and a
+// relative speed factor against the reference class. A request of
+// nominal size S occupies a class-c engine for S/c.Speed of device
+// time; conversely, t of observed device time on that engine is
+// t*c.Speed of normalized work (reference-class device time) — the
+// heterogeneity-normalized unit Gavel-style policies account in.
+type Class struct {
+	// Name identifies the class in configs, flags, and reports.
+	Name string
+	// Speed is the relative throughput factor: 1.0 is the reference
+	// (K20-class) device, 0.5 half its rate, 2.0 twice.
+	Speed float64
+}
+
+// ReferenceClass is the K20-class device every nominal request size and
+// the calibrated latency model are stated against.
+func ReferenceClass() Class { return Class{Name: "k20", Speed: 1.0} }
+
+// Classes lists the known device classes in presentation order: the
+// reference datacenter card, a consumer card at half its rate, and a
+// next-generation part at twice it.
+func Classes() []Class {
+	return []Class{
+		ReferenceClass(),
+		{Name: "consumer", Speed: 0.5},
+		{Name: "nextgen", Speed: 2.0},
+	}
+}
+
+// ClassNames lists the selectable class names in presentation order.
+func ClassNames() []string {
+	cs := Classes()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ClassByName resolves a device class by name. An unknown name is an
+// error listing the valid classes.
+func ClassByName(name string) (Class, error) {
+	for _, c := range Classes() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Class{}, fmt.Errorf("cost: unknown device class %q (valid: %s)",
+		name, strings.Join(ClassNames(), ", "))
+}
+
+// OrReference returns the class itself, or the reference class for the
+// zero value — so configs may simply leave the class unset.
+func (c Class) OrReference() Class {
+	if c.Name == "" && c.Speed == 0 {
+		return ReferenceClass()
+	}
+	return c
+}
+
+// ForClass derives the class's latency model from the calibrated
+// reference model: device-side latencies (the context switch the
+// engine pays between contexts) scale inversely with the class speed,
+// while host-side costs — register writes, traps, buffer scans, the
+// polling service, scheduler compute — are properties of the CPU and
+// kernel and do not change with the card.
+func (m Model) ForClass(c Class) Model {
+	c = c.OrReference()
+	if c.Speed == 1 {
+		return m
+	}
+	m.ContextSwitch = time.Duration(float64(m.ContextSwitch) / c.Speed)
+	return m
+}

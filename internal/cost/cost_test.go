@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -53,6 +54,72 @@ func TestDefaultOrderings(t *testing.T) {
 	}
 	if m.PollInterval <= m.InterceptCost() {
 		t.Errorf("polling granularity %v should dwarf per-request interception %v", m.PollInterval, m.InterceptCost())
+	}
+}
+
+func TestClassRegistry(t *testing.T) {
+	ref := ReferenceClass()
+	if ref.Speed != 1.0 {
+		t.Fatalf("reference class speed = %v, want 1.0", ref.Speed)
+	}
+	seen := map[string]bool{}
+	for _, c := range Classes() {
+		if c.Speed <= 0 {
+			t.Errorf("class %s has non-positive speed %v", c.Name, c.Speed)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate class name %s", c.Name)
+		}
+		seen[c.Name] = true
+		got, err := ClassByName(c.Name)
+		if err != nil || got != c {
+			t.Errorf("ClassByName(%s) = %v, %v", c.Name, got, err)
+		}
+	}
+	if !seen[ref.Name] {
+		t.Errorf("registry omits the reference class %s", ref.Name)
+	}
+	if _, err := ClassByName("bogus"); err == nil {
+		t.Fatal("ClassByName(bogus) should fail")
+	} else {
+		for _, name := range ClassNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not name valid class %q", err, name)
+			}
+		}
+	}
+	if got := (Class{}).OrReference(); got != ref {
+		t.Fatalf("zero class OrReference = %v, want reference", got)
+	}
+	if c := (Class{Name: "consumer", Speed: 0.5}); c.OrReference() != c {
+		t.Fatal("OrReference must not replace a set class")
+	}
+}
+
+// ForClass scales only device-side latencies: a faster card switches
+// contexts faster, but traps, scans, and polling are host costs.
+func TestForClassScalesDeviceSideOnly(t *testing.T) {
+	m := Default()
+	fast := m.ForClass(Class{Name: "nextgen", Speed: 2.0})
+	if fast.ContextSwitch != m.ContextSwitch/2 {
+		t.Errorf("nextgen context switch = %v, want %v", fast.ContextSwitch, m.ContextSwitch/2)
+	}
+	slow := m.ForClass(Class{Name: "consumer", Speed: 0.5})
+	if slow.ContextSwitch != 2*m.ContextSwitch {
+		t.Errorf("consumer context switch = %v, want %v", slow.ContextSwitch, 2*m.ContextSwitch)
+	}
+	for _, d := range []Model{fast, slow} {
+		if d.SyscallTrap != m.SyscallTrap || d.FaultScan != m.FaultScan ||
+			d.PollInterval != m.PollInterval || d.SchedulerCompute != m.SchedulerCompute ||
+			d.DirectWrite != m.DirectWrite {
+			t.Errorf("ForClass changed a host-side cost: %+v vs %+v", d, m)
+		}
+	}
+	if got := m.ForClass(ReferenceClass()); got != m {
+		t.Fatal("reference class must derive the identical model")
+	}
+	if got := m.ForClass(Class{}); got != m {
+		t.Fatal("zero class must derive the identical (reference) model")
 	}
 }
 

@@ -78,12 +78,7 @@ func RunFleetCell(o Options, devices int, policyName, mix string) FleetResult {
 	}
 	seconds := o.Measure.Seconds()
 	res.RoundsPerSec = float64(rounds) / seconds
-
-	var busy sim.Duration
-	for _, n := range f.Nodes() {
-		busy += n.BusySince()
-	}
-	res.Utilization = float64(busy) / (float64(o.Measure) * float64(devices))
+	res.Utilization = fleetUtilization(f, o.Measure)
 
 	// Fairness over saturating tenants: under fair queueing, competing
 	// saturating tenants should receive equal device time regardless of
@@ -131,9 +126,14 @@ func FleetExp(opts Options) *report.Table {
 		policy string
 		mix    string
 	}
+	// The class-blind trio: on this experiment's homogeneous fleets the
+	// class-aware policies (fastest-fit, class-sticky) degenerate to
+	// least-loaded and sticky, so sweeping them here would only
+	// duplicate rows — the hetero experiment is where they differ.
+	policies := []string{"rr", "least-loaded", "sticky"}
 	var cells []cell
 	for _, devs := range FleetDeviceCounts {
-		for _, policy := range fleet.PolicyNames() {
+		for _, policy := range policies {
 			for _, mix := range workload.FleetMixes() {
 				cells = append(cells, cell{devs, policy, mix})
 			}

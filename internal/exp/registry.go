@@ -32,6 +32,7 @@ func Registry() []Experiment {
 		{"ablation-params", "configuration parameter sweeps", AblationParams},
 		{"fleet", "multi-device placement policies and fleet-wide fairness", FleetExp},
 		{"serve", "open-loop traffic: latency SLOs, admission control, overload", ServeExp},
+		{"hetero", "mixed device classes: normalized vs raw DFQ accounting", HeteroExp},
 	}
 }
 

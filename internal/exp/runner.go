@@ -38,6 +38,12 @@ type Options struct {
 	// Loads overrides the serve experiment's load-factor sweep
 	// (cmd/neonsim -load); nil means DefaultServeLoads.
 	Loads []float64
+	// Classes overrides the fleet composition (cmd/neonsim -classes):
+	// the hetero experiment replaces its class-mix sweep with exactly
+	// this mix, and the serve experiment runs its open-loop grid over a
+	// fleet of these classes instead of a homogeneous one. Nil keeps
+	// each experiment's default.
+	Classes []string
 }
 
 // DefaultPenalty is the graphics arbitration bias observed in Section

@@ -100,6 +100,17 @@ type ServeResult struct {
 	Utilization float64
 }
 
+// ServeFleetSize resolves the serve fleet's device count for these
+// Options: one device per -classes entry when a mix is given (so the
+// fleet is exactly the requested composition, never a truncation of
+// it), ServeDevices otherwise.
+func (o Options) ServeFleetSize() int {
+	if len(o.Classes) > 0 {
+		return len(o.Classes)
+	}
+	return ServeDevices
+}
+
 // RunServeCell serves the open-loop population for one (load,
 // scheduler, placement, admission) point and measures it.
 func RunServeCell(o Options, load float64, sched, place string, admit bool) ServeResult {
@@ -118,14 +129,16 @@ func RunServeCell(o Options, load float64, sched, place string, admit bool) Serv
 		}
 		policy = p
 	}
+	devices := o.ServeFleetSize()
 	depth := 0
 	if admit {
-		depth = ServeAdmitDepth * ServeDevices
+		depth = ServeAdmitDepth * devices
 	}
-	streams := ServePopulation(ServeDevices, load)
+	streams := ServePopulation(devices, load)
 	srv, err := traffic.New(eng, traffic.Config{
 		Fleet: fleet.Config{
-			Devices:  ServeDevices,
+			Devices:  devices,
+			Classes:  o.Classes,
 			Policy:   policy,
 			Sched:    sched,
 			RunLimit: o.RunLimit,
@@ -165,12 +178,18 @@ func RunServeCell(o Options, load float64, sched, place string, admit bool) Serv
 		res.ShedRate = float64(shed) / float64(arrivals)
 	}
 	res.QueueDepth = srv.Fleet().QueueDepth()
-	var busy sim.Duration
-	for _, n := range srv.Fleet().Nodes() {
-		busy += n.BusySince()
-	}
-	res.Utilization = float64(busy) / (float64(o.Measure) * ServeDevices)
+	res.Utilization = fleetUtilization(srv.Fleet(), o.Measure)
 	return res
+}
+
+// fleetUtilization is the mean per-node busy fraction of the window —
+// the shared utilization column of the fleet, serve, and hetero tables.
+func fleetUtilization(f *fleet.Fleet, window sim.Duration) float64 {
+	util := 0.0
+	for _, n := range f.Nodes() {
+		util += n.Utilization(window)
+	}
+	return util / float64(len(f.Nodes()))
 }
 
 // ServeExp sweeps load factor x scheduler x placement with admission
@@ -211,7 +230,8 @@ func ServeExp(opts Options) *report.Table {
 			})
 	}
 
-	t := report.New("Serve: open-loop traffic, load factor x scheduler x placement (2 devices)",
+	t := report.New(fmt.Sprintf("Serve: open-loop traffic, load factor x scheduler x placement (%d devices)",
+		opts.ServeFleetSize()),
 		"load", "sched", "place", "adm", "p50", "p95", "p99", "victim p99", "goodput/s", "shed", "qdepth", "util")
 	for _, r := range RunJobs(opts, jobs) {
 		res := r.Value.(ServeResult)

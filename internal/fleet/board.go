@@ -1,7 +1,7 @@
 package fleet
 
 import (
-	"repro/internal/sim"
+	"repro/internal/core"
 )
 
 // Board is the fleet-wide virtual-time exchange (it implements
@@ -15,14 +15,22 @@ import (
 // tenant drawing service from three devices accrues virtual time three
 // times as fast and is denied everywhere until the others catch up.
 //
+// All quantities are in normalized core.Work: each device converts its
+// observed device time at its own class speed before reporting, so on a
+// heterogeneous fleet a ledger entry means the same amount of service
+// no matter which generation of card provided it. (Under the raw-charge
+// ablation the devices report unscaled device time and the board —
+// unknowingly — compares unlike units; that is the failure mode the
+// hetero experiment demonstrates.)
+//
 // Every operation the board performs is commutative across principals
 // (sums, set membership, a minimum), so results do not depend on map
 // iteration order and the simulation stays deterministic.
 type Board struct {
-	vt       map[string]sim.Duration
+	vt       map[string]core.Work
 	activeOn map[string]map[string]bool
 	order    []string
-	sysVT    sim.Duration
+	sysVT    core.Work
 
 	// Episodes counts reconciliations, for tests.
 	Episodes int64
@@ -31,20 +39,21 @@ type Board struct {
 // NewBoard returns an empty fleet-wide virtual-time board.
 func NewBoard() *Board {
 	return &Board{
-		vt:       make(map[string]sim.Duration),
+		vt:       make(map[string]core.Work),
 		activeOn: make(map[string]map[string]bool),
 	}
 }
 
 // ReconcileEpisode implements core.FleetVT. charges is the estimated
-// usage the reporting device attributed to each principal this episode;
-// active marks the principals with work pending there (false explicitly
-// clears the mark). The returned map holds, for every principal in
-// either argument, its reconciled lead over the fleet-wide system
-// virtual time; the reporting scheduler compares leads against its own
-// free-run horizon to decide denials.
-func (b *Board) ReconcileEpisode(device string, charges map[string]sim.Duration,
-	active map[string]bool) map[string]sim.Duration {
+// normalized work the reporting device attributed to each principal
+// this episode; active marks the principals with work pending there
+// (false explicitly clears the mark). The returned map holds, for every
+// principal in either argument, its reconciled lead over the fleet-wide
+// system virtual time; the reporting scheduler compares leads against
+// its own free-run horizon (converted to its work rate) to decide
+// denials.
+func (b *Board) ReconcileEpisode(device string, charges map[string]core.Work,
+	active map[string]bool) map[string]core.Work {
 	b.Episodes++
 
 	for name, c := range charges {
@@ -63,7 +72,7 @@ func (b *Board) ReconcileEpisode(device string, charges map[string]sim.Duration,
 	// The fleet system virtual time is the oldest virtual time among
 	// principals active anywhere; it only moves forward.
 	first := true
-	var minVT sim.Duration
+	var minVT core.Work
 	for _, name := range b.order {
 		if len(b.activeOn[name]) == 0 {
 			continue
@@ -85,7 +94,7 @@ func (b *Board) ReconcileEpisode(device string, charges map[string]sim.Duration,
 		}
 	}
 
-	leads := make(map[string]sim.Duration, len(active)+len(charges))
+	leads := make(map[string]core.Work, len(active)+len(charges))
 	for name := range active {
 		leads[name] = b.vt[name] - b.sysVT
 	}
@@ -106,12 +115,13 @@ func (b *Board) ensure(name string) {
 	b.order = append(b.order, name)
 }
 
-// VirtualTime returns the principal's fleet-wide virtual time, for
-// tests and reports.
-func (b *Board) VirtualTime(name string) sim.Duration { return b.vt[name] }
+// VirtualTime returns the principal's fleet-wide virtual time in
+// normalized work, for tests and reports.
+func (b *Board) VirtualTime(name string) core.Work { return b.vt[name] }
 
-// SystemVirtualTime returns the fleet-wide system virtual time.
-func (b *Board) SystemVirtualTime() sim.Duration { return b.sysVT }
+// SystemVirtualTime returns the fleet-wide system virtual time in
+// normalized work.
+func (b *Board) SystemVirtualTime() core.Work { return b.sysVT }
 
 // Principals returns every principal the board has seen, in first-
 // appearance order.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/gpu"
 	"repro/internal/neon"
 	"repro/internal/sim"
@@ -13,19 +14,22 @@ import (
 
 const ms = time.Millisecond
 
+// wms is a board charge of n milliseconds of normalized work.
+func wms(n int) core.Work { return core.Work(n) * core.Work(ms) }
+
 func TestBoardAccumulatesAcrossDevices(t *testing.T) {
 	b := NewBoard()
 
 	// A consumes on two devices in the same window; B on one.
-	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 5 * ms, "B": 5 * ms},
+	b.ReconcileEpisode("dev0", map[string]core.Work{"A": wms(5), "B": wms(5)},
 		map[string]bool{"A": true, "B": true})
-	leads := b.ReconcileEpisode("dev1", map[string]sim.Duration{"A": 5 * ms},
+	leads := b.ReconcileEpisode("dev1", map[string]core.Work{"A": wms(5)},
 		map[string]bool{"A": true})
 
-	if got := b.VirtualTime("A"); got != 10*ms {
+	if got := b.VirtualTime("A"); got != wms(10) {
 		t.Fatalf("A virtual time = %v, want 10ms (charges from both devices)", got)
 	}
-	if leads["A"] != 10*ms-b.SystemVirtualTime() {
+	if leads["A"] != wms(10)-b.SystemVirtualTime() {
 		t.Fatalf("A lead = %v, sysVT = %v", leads["A"], b.SystemVirtualTime())
 	}
 	if leads["A"] <= 0 {
@@ -35,13 +39,13 @@ func TestBoardAccumulatesAcrossDevices(t *testing.T) {
 
 func TestBoardSystemVTFollowsOldestActive(t *testing.T) {
 	b := NewBoard()
-	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 8 * ms, "B": 2 * ms},
+	b.ReconcileEpisode("dev0", map[string]core.Work{"A": wms(8), "B": wms(2)},
 		map[string]bool{"A": true, "B": true})
-	if got := b.SystemVirtualTime(); got != 2*ms {
+	if got := b.SystemVirtualTime(); got != wms(2) {
 		t.Fatalf("sysVT = %v, want 2ms (oldest active VT)", got)
 	}
 	// B goes idle: it forfeits unused credit up to the system VT.
-	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 4 * ms},
+	b.ReconcileEpisode("dev0", map[string]core.Work{"A": wms(4)},
 		map[string]bool{"A": true, "B": false})
 	if got, sys := b.VirtualTime("B"), b.SystemVirtualTime(); got != sys {
 		t.Fatalf("idle B vt = %v, want forfeited to sysVT %v", got, sys)
@@ -50,11 +54,68 @@ func TestBoardSystemVTFollowsOldestActive(t *testing.T) {
 
 func TestBoardLateJoinerStartsAtSystemVT(t *testing.T) {
 	b := NewBoard()
-	b.ReconcileEpisode("dev0", map[string]sim.Duration{"A": 8 * ms},
+	b.ReconcileEpisode("dev0", map[string]core.Work{"A": wms(8)},
 		map[string]bool{"A": true})
 	leads := b.ReconcileEpisode("dev1", nil, map[string]bool{"C": true})
 	if leads["C"] != 0 {
 		t.Fatalf("late joiner lead = %v, want 0 (starts at system VT)", leads["C"])
+	}
+}
+
+// TestBoardHeterogeneousCharges reconciles episodes whose per-episode
+// charge rates differ because the reporting devices are of different
+// classes. Once charges are stated in normalized work, equal *work*
+// must mean equal ledger positions no matter which device reported it:
+// 10ms of consumer-card device time (speed 0.5) and 2.5ms of nextgen
+// time (speed 2.0) are the same 5ms of work.
+func TestBoardHeterogeneousCharges(t *testing.T) {
+	slow, err := cost.ClassByName("consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := cost.ClassByName("nextgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBoard()
+	// Register both principals before any charge so neither gets a
+	// late-joiner head start.
+	b.ReconcileEpisode("dev-slow", nil, map[string]bool{"A": true})
+	b.ReconcileEpisode("dev-fast", nil, map[string]bool{"B": true})
+	// A is served by the slow device, B by the fast one; both receive
+	// the same normalized work per episode, delivered as very different
+	// amounts of device time.
+	for i := 0; i < 4; i++ {
+		b.ReconcileEpisode("dev-slow",
+			map[string]core.Work{"A": core.WorkFor(10*ms, slow.Speed)},
+			map[string]bool{"A": true})
+		b.ReconcileEpisode("dev-fast",
+			map[string]core.Work{"B": core.WorkFor(2500*time.Microsecond, fast.Speed)},
+			map[string]bool{"B": true})
+	}
+	if va, vb := b.VirtualTime("A"), b.VirtualTime("B"); va != vb {
+		t.Fatalf("equal normalized work must reconcile to equal VTs: A=%v B=%v", va, vb)
+	}
+	if got := b.VirtualTime("A"); got != wms(20) {
+		t.Fatalf("A vt = %v, want 20ms of work over 4 episodes", got)
+	}
+
+	// The same episodes charged raw (device time, unscaled) split the
+	// ledger 4:1 — the distortion the RawCharges ablation reintroduces
+	// and the hetero experiment shows starving slow-device tenants.
+	raw := NewBoard()
+	raw.ReconcileEpisode("dev-slow", nil, map[string]bool{"A": true})
+	raw.ReconcileEpisode("dev-fast", nil, map[string]bool{"B": true})
+	for i := 0; i < 4; i++ {
+		raw.ReconcileEpisode("dev-slow", map[string]core.Work{"A": wms(10)},
+			map[string]bool{"A": true})
+		raw.ReconcileEpisode("dev-fast",
+			map[string]core.Work{"B": core.Work(2500 * time.Microsecond)},
+			map[string]bool{"B": true})
+	}
+	if va, vb := raw.VirtualTime("A"), raw.VirtualTime("B"); va != 4*vb {
+		t.Fatalf("raw charges should overcharge the slow-device tenant 4:1, got A=%v B=%v", va, vb)
 	}
 }
 

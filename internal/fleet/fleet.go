@@ -12,22 +12,29 @@
 //
 //   - a placement subsystem (Policy): before every tenant round, the
 //     fleet asks the policy which device serves it. Round-robin,
-//     least-loaded, and locality-sticky policies are provided; the
+//     least-loaded, and locality-sticky policies are class-blind; the
 //     sticky policy returns tenants to their previous device while its
 //     queue depth stays under a threshold, trading balance for warm
-//     working-set state (MQFQ-Sticky-style).
+//     working-set state (MQFQ-Sticky-style). On heterogeneous fleets
+//     (Config.Classes) two class-aware policies join them: fastest-fit
+//     places by effective throughput (class speed over queue depth,
+//     Gavel-style), and class-aware sticky migrates warm state only
+//     when the class speedup outweighs the reconstruction cost.
 //   - fleet-wide virtual-time reconciliation (Board): each per-device
 //     DFQ instance folds the usage it charges at every engagement
 //     episode into a shared board keyed by tenant name, and takes its
 //     denial decisions against fleet-wide leads. A tenant consuming on
 //     several devices at once is throttled everywhere, so fairness
-//     holds across the fleet, not just within one device.
+//     holds across the fleet, not just within one device. Charges are
+//     in normalized core.Work (device time x class speed), so the
+//     board compares like with like across device generations.
 package fleet
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/gpu"
 	"repro/internal/neon"
 	"repro/internal/sim"
@@ -37,6 +44,7 @@ import (
 // and the per-device scheduler the kernel runs.
 type Node struct {
 	Index  int
+	Class  cost.Class
 	Device *gpu.Device
 	Kernel *neon.Kernel
 	Sched  neon.Scheduler
@@ -55,6 +63,11 @@ type Node struct {
 // (placed but not completed) — the node's queue depth.
 func (n *Node) Load() int { return n.inflight }
 
+// Speed returns the node's class speed factor: the rate it retires
+// nominal work relative to the reference class. Placement policies use
+// it as the effective-throughput numerator.
+func (n *Node) Speed() float64 { return n.Class.Speed }
+
 // DFQ returns the node's scheduler as Disengaged Fair Queueing, or nil
 // when the fleet was built with a different policy.
 func (n *Node) DFQ() *core.DisengagedFairQueueing {
@@ -66,10 +79,16 @@ func (n *Node) DFQ() *core.DisengagedFairQueueing {
 type Config struct {
 	// Devices is the number of device instances (N >= 1).
 	Devices int
+	// Classes names each device's generation (cost.ClassNames); device i
+	// takes Classes[i%len(Classes)], so a short list tiles over a large
+	// fleet. Empty means every device is the reference class — the
+	// homogeneous fleets of the earlier experiments.
+	Classes []string
 	// Policy places tenant rounds; nil defaults to round-robin.
 	Policy Policy
 	// GPU configures every device instance; a zero MaxContexts means
-	// gpu.DefaultConfig(). The per-instance Name is set by the fleet.
+	// gpu.DefaultConfig(). The per-instance Name and Class are set by
+	// the fleet.
 	GPU gpu.Config
 	// Sched names the per-device scheduling policy: "dfq" (default),
 	// "timeslice"/"ts", or "dts". Only DFQ participates in fleet-wide
@@ -118,6 +137,14 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 	if schedName == "" {
 		schedName = "dfq"
 	}
+	classes := make([]cost.Class, 0, len(cfg.Classes))
+	for _, name := range cfg.Classes {
+		c, err := cost.ClassByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		classes = append(classes, c)
+	}
 	f := &Fleet{eng: eng, policy: policy, board: NewBoard(), seed: cfg.Seed}
 	for i := 0; i < cfg.Devices; i++ {
 		gcfg := cfg.GPU
@@ -125,6 +152,11 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 			gcfg = gpu.DefaultConfig()
 		}
 		gcfg.Name = fmt.Sprintf("dev%d", i)
+		class := cost.ReferenceClass()
+		if len(classes) > 0 {
+			class = classes[i%len(classes)]
+		}
+		gcfg.Class = class
 		dev := gpu.New(eng, gcfg)
 		var sched neon.Scheduler
 		switch schedName {
@@ -141,7 +173,7 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 		}
 		k := neon.NewKernel(dev, sched)
 		k.RequestRunLimit = cfg.RunLimit
-		f.nodes = append(f.nodes, &Node{Index: i, Device: dev, Kernel: k, Sched: sched})
+		f.nodes = append(f.nodes, &Node{Index: i, Class: class, Device: dev, Kernel: k, Sched: sched})
 	}
 	return f, nil
 }
@@ -175,7 +207,12 @@ func (f *Fleet) Place(t *Tenant) *Node {
 }
 
 // roundDone retires a placed round from the node's in-flight count.
-func (f *Fleet) roundDone(n *Node) { n.inflight-- }
+func (f *Fleet) roundDone(n *Node) {
+	if n.inflight <= 0 {
+		panic(fmt.Sprintf("fleet: round retired on %s with none in flight", n.Device.Name()))
+	}
+	n.inflight--
+}
 
 // PlaceRequest asks the placement policy for the device to serve one
 // open-loop request of the tenant's stream and accounts it in flight
@@ -197,8 +234,16 @@ func (f *Fleet) PlaceRequest(t *Tenant) (n *Node, migrated bool) {
 }
 
 // RequestDone retires a placed request from the node's in-flight count
-// (on completion, abort, or shed-after-placement).
-func (f *Fleet) RequestDone(n *Node) { n.inflight-- }
+// (on completion, abort, or shed-after-placement). A retire without a
+// matching placement would silently corrupt the queue-depth signal that
+// admission control and every placement policy read, so it panics —
+// naming the node — instead.
+func (f *Fleet) RequestDone(n *Node) {
+	if n.inflight <= 0 {
+		panic(fmt.Sprintf("fleet: request retired on %s with none in flight", n.Device.Name()))
+	}
+	n.inflight--
+}
 
 // QueueDepth returns the fleet-wide queue depth: work units placed and
 // not yet finished, summed over nodes. This is the congestion signal
@@ -227,3 +272,17 @@ func (f *Fleet) ResetStats() {
 // BusySince returns the node's exec-engine busy time accumulated since
 // the last ResetStats.
 func (n *Node) BusySince() sim.Duration { return n.Device.TotalBusy() - n.busyAtReset }
+
+// Utilization returns the node's exec-engine busy fraction of the
+// measurement window since the last ResetStats — the per-node signal
+// the serve and hetero experiments report.
+func (n *Node) Utilization(window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(n.BusySince()) / float64(window)
+}
+
+// WorkSince returns the normalized work the node retired since the last
+// ResetStats: busy time scaled by its class speed.
+func (n *Node) WorkSince() core.Work { return core.WorkFor(n.BusySince(), n.Speed()) }

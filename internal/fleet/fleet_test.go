@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -30,6 +31,66 @@ func TestNewValidation(t *testing.T) {
 	}
 	if f.Nodes()[0].Device.Name() == f.Nodes()[1].Device.Name() {
 		t.Fatal("device names must be distinct")
+	}
+}
+
+func TestFleetClassesCycleOverDevices(t *testing.T) {
+	f, err := New(sim.NewEngine(), Config{Devices: 4, Classes: []string{"k20", "consumer"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want := []string{"k20", "consumer", "k20", "consumer"}
+	for i, n := range f.Nodes() {
+		if n.Class.Name != want[i] {
+			t.Errorf("node %d class = %s, want %s", i, n.Class.Name, want[i])
+		}
+		if n.Speed() != n.Device.ClassSpeed() {
+			t.Errorf("node %d speed %v disagrees with device %v", i, n.Speed(), n.Device.ClassSpeed())
+		}
+	}
+	if _, err := New(sim.NewEngine(), Config{Devices: 2, Classes: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown class should fail fleet construction")
+	}
+	// Unset classes default every node to the reference class.
+	f, err = New(sim.NewEngine(), Config{Devices: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i, n := range f.Nodes() {
+		if n.Speed() != 1.0 {
+			t.Errorf("node %d default speed = %v, want reference 1.0", i, n.Speed())
+		}
+	}
+}
+
+func TestRequestDoneUnderflowPanicsWithNodeName(t *testing.T) {
+	f, err := New(sim.NewEngine(), Config{Devices: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n := f.Nodes()[0]
+	for _, retire := range []struct {
+		name string
+		fn   func()
+	}{
+		{"RequestDone", func() { f.RequestDone(n) }},
+		{"roundDone", func() { f.roundDone(n) }},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s with nothing in flight must panic, not corrupt queue depth", retire.name)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, n.Device.Name()) {
+					t.Fatalf("%s panic %v does not name node %s", retire.name, r, n.Device.Name())
+				}
+			}()
+			retire.fn()
+		}()
+	}
+	if n.Load() != 0 {
+		t.Fatalf("load = %d after refused retires, want 0", n.Load())
 	}
 }
 

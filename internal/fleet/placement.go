@@ -20,15 +20,24 @@ type Policy interface {
 // than this are in flight there.
 const DefaultStickyDepth = 3
 
+// DefaultClassSpeedup is the class-aware sticky policy's migration
+// threshold: a tenant abandons its warm device only for one whose class
+// is at least this much faster — the speed ratio at which halved (or
+// better) service time outweighs one working-set reconstruction.
+const DefaultClassSpeedup = 2.0
+
 // PolicyNames lists the selectable placement policies in presentation
-// order.
+// order. The first three are class-blind; fastest-fit and class-sticky
+// read node class speeds and only differ from least-loaded/sticky on a
+// heterogeneous fleet.
 func PolicyNames() []string {
-	return []string{"rr", "least-loaded", "sticky"}
+	return []string{"rr", "least-loaded", "sticky", "fastest-fit", "class-sticky"}
 }
 
 // NewPolicy constructs a placement policy by name, using default
 // parameters. Recognized names: "rr" ("round-robin"), "least-loaded"
-// ("ll"), "sticky" ("locality-sticky"). An unknown name is an error
+// ("ll"), "sticky" ("locality-sticky"), "fastest-fit" ("ff"), and
+// "class-sticky" ("class-aware-sticky"). An unknown name is an error
 // listing the valid policies.
 func NewPolicy(name string) (Policy, error) {
 	switch name {
@@ -38,6 +47,10 @@ func NewPolicy(name string) (Policy, error) {
 		return NewLeastLoaded(), nil
 	case "sticky", "locality-sticky":
 		return NewLocalitySticky(DefaultStickyDepth), nil
+	case "fastest-fit", "ff":
+		return NewFastestFit(), nil
+	case "class-sticky", "class-aware-sticky":
+		return NewClassAwareSticky(DefaultStickyDepth, DefaultClassSpeedup), nil
 	default:
 		return nil, fmt.Errorf("fleet: unknown placement policy %q (valid: %s)",
 			name, strings.Join(PolicyNames(), ", "))
@@ -118,4 +131,101 @@ func (p *LocalitySticky) Pick(f *Fleet, t *Tenant) *Node {
 		return t.last
 	}
 	return p.spill.Pick(f, t)
+}
+
+// FastestFit is the heterogeneity-aware greedy: it places each work
+// unit on the node with the highest *effective throughput* — class
+// speed divided by the work already queued ahead of it — the
+// Gavel-style normalized-throughput objective. A fast node is worth
+// queueing behind, but only up to the point where a slower, idler node
+// would serve sooner. Ties break to the lowest device index, so
+// identical fleet states place identically. On a homogeneous fleet it
+// degenerates to least-loaded.
+type FastestFit struct{}
+
+// NewFastestFit returns the effective-throughput-greedy policy.
+func NewFastestFit() *FastestFit { return &FastestFit{} }
+
+// Name implements Policy.
+func (*FastestFit) Name() string { return "fastest-fit" }
+
+// Pick implements Policy.
+func (*FastestFit) Pick(f *Fleet, t *Tenant) *Node {
+	best := f.nodes[0]
+	bestScore := effectiveThroughput(best)
+	for _, n := range f.nodes[1:] {
+		if s := effectiveThroughput(n); s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// effectiveThroughput scores a node for FastestFit: the rate at which
+// newly placed work would be retired, discounted by the queue already
+// in front of it.
+func effectiveThroughput(n *Node) float64 {
+	return n.Speed() / float64(n.Load()+1)
+}
+
+// ClassAwareSticky extends locality-sticky placement with class
+// awareness: a tenant stays on its warm device while that device's
+// queue depth is under Depth, unless another node's class is at least
+// Speedup times faster *and* has room under the same depth bound — the
+// point where the class speedup outweighs the one-time working-set
+// reconstruction the move costs. Congested or first-round tenants
+// spill through fastest-fit rather than least-loaded, so spilled work
+// also lands by effective throughput.
+type ClassAwareSticky struct {
+	// Depth is the stick-while-below queue-depth threshold.
+	Depth int
+	// Speedup is the minimum class speed ratio (candidate over warm)
+	// that justifies abandoning warm state.
+	Speedup float64
+
+	spill FastestFit
+}
+
+// NewClassAwareSticky returns the class-aware sticky policy; depth <= 0
+// takes DefaultStickyDepth, speedup <= 1 takes DefaultClassSpeedup.
+func NewClassAwareSticky(depth int, speedup float64) *ClassAwareSticky {
+	if depth <= 0 {
+		depth = DefaultStickyDepth
+	}
+	if speedup <= 1 {
+		speedup = DefaultClassSpeedup
+	}
+	return &ClassAwareSticky{Depth: depth, Speedup: speedup}
+}
+
+// Name implements Policy.
+func (*ClassAwareSticky) Name() string { return "class-aware-sticky" }
+
+// Pick implements Policy.
+func (p *ClassAwareSticky) Pick(f *Fleet, t *Tenant) *Node {
+	if t.last != nil && t.last.Load() < p.Depth {
+		if up := p.upgrade(f, t.last); up != nil {
+			return up
+		}
+		return t.last
+	}
+	return p.spill.Pick(f, t)
+}
+
+// upgrade returns the best node worth migrating warm state to: at least
+// Speedup times the warm node's class speed, queue depth under the
+// stick threshold, and the highest effective throughput among such
+// candidates (ties to the lowest index). Nil when staying warm wins.
+func (p *ClassAwareSticky) upgrade(f *Fleet, warm *Node) *Node {
+	var best *Node
+	var bestScore float64
+	for _, n := range f.nodes {
+		if n == warm || n.Load() >= p.Depth || n.Speed() < p.Speedup*warm.Speed() {
+			continue
+		}
+		if s := effectiveThroughput(n); best == nil || s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
 }

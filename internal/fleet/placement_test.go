@@ -80,6 +80,104 @@ func TestStickyFirstRoundSpills(t *testing.T) {
 	}
 }
 
+// heteroFleet builds a fleet whose node classes follow the given names.
+func heteroFleet(t *testing.T, classes ...string) *Fleet {
+	t.Helper()
+	f, err := New(sim.NewEngine(), Config{Devices: len(classes), Classes: classes})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func TestFastestFitPrefersEffectiveThroughput(t *testing.T) {
+	// nextgen (2.0) vs k20 (1.0) vs consumer (0.5), all idle: the
+	// fastest class wins outright.
+	f := heteroFleet(t, "consumer", "k20", "nextgen")
+	p := NewFastestFit()
+	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 2 {
+		t.Fatalf("idle fleet: got node %d, want nextgen node 2", got.Index)
+	}
+
+	// Queue the fast node until a slower, idler one serves sooner:
+	// nextgen at depth 3 scores 2.0/4 = 0.5, k20 idle scores 1.0.
+	f.nodes[2].inflight = 3
+	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 1 {
+		t.Fatalf("congested nextgen: got node %d, want idle k20 node 1", got.Index)
+	}
+
+	// Equal scores tie-break to the lowest index: two idle k20s.
+	tie := heteroFleet(t, "k20", "k20")
+	if got := p.Pick(tie, &Tenant{fleet: tie}); got.Index != 0 {
+		t.Fatalf("tie: got node %d, want 0", got.Index)
+	}
+}
+
+func TestFastestFitHomogeneousIsLeastLoaded(t *testing.T) {
+	f := testFleet(t, 3)
+	f.nodes[0].inflight = 2
+	f.nodes[1].inflight = 1
+	f.nodes[2].inflight = 4
+	ff := NewFastestFit()
+	ll := NewLeastLoaded()
+	if a, b := ff.Pick(f, &Tenant{fleet: f}), ll.Pick(f, &Tenant{fleet: f}); a != b {
+		t.Fatalf("homogeneous fleet: fastest-fit picked %d, least-loaded %d", a.Index, b.Index)
+	}
+}
+
+func TestClassAwareStickyMigratesUpOnly(t *testing.T) {
+	f := heteroFleet(t, "consumer", "k20", "nextgen")
+	p := NewClassAwareSticky(3, 2.0)
+
+	// Warm on the consumer node (0.5): both k20 (2x) and nextgen (4x)
+	// clear the speedup bar; the higher effective throughput wins.
+	tn := &Tenant{fleet: f, last: f.nodes[0]}
+	if got := p.Pick(f, tn); got.Index != 2 {
+		t.Fatalf("warm consumer: got node %d, want nextgen upgrade node 2", got.Index)
+	}
+
+	// Warm on k20 (1.0): only nextgen (2x) clears the bar.
+	tn.last = f.nodes[1]
+	if got := p.Pick(f, tn); got.Index != 2 {
+		t.Fatalf("warm k20: got node %d, want nextgen node 2", got.Index)
+	}
+
+	// A congested upgrade target is not worth queueing for: stick.
+	f.nodes[2].inflight = p.Depth
+	if got := p.Pick(f, tn); got.Index != 1 {
+		t.Fatalf("congested upgrade: got node %d, want warm node 1", got.Index)
+	}
+
+	// Warm on nextgen: nothing is 2x faster, stick.
+	f.nodes[2].inflight = 0
+	tn.last = f.nodes[2]
+	if got := p.Pick(f, tn); got.Index != 2 {
+		t.Fatalf("warm nextgen: got node %d, want warm node 2", got.Index)
+	}
+
+	// Congested warm node spills by effective throughput.
+	f.nodes[2].inflight = p.Depth
+	if got := p.Pick(f, tn); got.Index != 1 {
+		t.Fatalf("spill: got node %d, want k20 node 1", got.Index)
+	}
+}
+
+func TestClassAwareStickyHomogeneousSticks(t *testing.T) {
+	// With every class equal the speedup bar is unreachable, so the
+	// policy behaves exactly like locality-sticky.
+	f := testFleet(t, 2)
+	p := NewClassAwareSticky(3, 2.0)
+	tn := &Tenant{fleet: f, last: f.nodes[1]}
+	f.nodes[1].inflight = p.Depth - 1
+	if got := p.Pick(f, tn); got.Index != 1 {
+		t.Fatalf("got node %d, want sticky node 1", got.Index)
+	}
+	f.nodes[1].inflight = p.Depth
+	if got := p.Pick(f, tn); got.Index != 0 {
+		t.Fatalf("got node %d, want spill node 0", got.Index)
+	}
+}
+
 func TestNewPolicy(t *testing.T) {
 	for _, name := range PolicyNames() {
 		p, err := NewPolicy(name)
@@ -88,9 +186,11 @@ func TestNewPolicy(t *testing.T) {
 		}
 	}
 	for alias, want := range map[string]string{
-		"round-robin":     "round-robin",
-		"ll":              "least-loaded",
-		"locality-sticky": "locality-sticky",
+		"round-robin":        "round-robin",
+		"ll":                 "least-loaded",
+		"locality-sticky":    "locality-sticky",
+		"ff":                 "fastest-fit",
+		"class-aware-sticky": "class-aware-sticky",
 	} {
 		p, err := NewPolicy(alias)
 		if err != nil || p.Name() != want {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/neon"
 	"repro/internal/sim"
@@ -25,6 +26,7 @@ type Tenant struct {
 	tasks   map[*Node]*neon.Task
 	rng     *sim.RNG
 	busy0   sim.Duration
+	work0   core.Work
 
 	// Rounds and RoundTime accumulate since the last ResetStats.
 	Rounds    int64
@@ -75,9 +77,11 @@ func (t *Tenant) AvgRound() sim.Duration {
 	return t.RoundTime / sim.Duration(t.Rounds)
 }
 
-// ServiceTime returns the device time the tenant has received across
-// the fleet since the last ResetStats — including any working-set
-// reconstruction, which is capacity the tenant consumed.
+// ServiceTime returns the raw device time the tenant has received
+// across the fleet since the last ResetStats — including any
+// working-set reconstruction, which is capacity the tenant consumed.
+// On a heterogeneous fleet raw device time overstates service received
+// on slow devices; compare tenants with NormalizedWork instead.
 func (t *Tenant) ServiceTime() sim.Duration {
 	var b sim.Duration
 	for _, task := range t.tasks {
@@ -86,9 +90,24 @@ func (t *Tenant) ServiceTime() sim.Duration {
 	return b - t.busy0
 }
 
+// NormalizedWork returns the class-normalized service the tenant has
+// received across the fleet since the last ResetStats: per-device busy
+// time scaled by each device's class speed, summed. This is the unit
+// the fleet board accounts fairness in, so it is the unit per-tenant
+// shares must be compared in on a mixed fleet. (The sum is commutative,
+// so map iteration order does not affect it.)
+func (t *Tenant) NormalizedWork() core.Work {
+	var w core.Work
+	for n, task := range t.tasks {
+		w += core.WorkFor(task.BusyTime(), n.Speed())
+	}
+	return w - t.work0
+}
+
 // ResetStats clears round statistics and re-baselines service time.
 func (t *Tenant) ResetStats() {
 	t.busy0 += t.ServiceTime()
+	t.work0 += t.NormalizedWork()
 	t.Rounds = 0
 	t.RoundTime = 0
 	t.Migrations = 0

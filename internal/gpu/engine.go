@@ -127,16 +127,18 @@ func (en *engine) pickNext() *Channel {
 	return nil
 }
 
-// execute runs one request to completion (or abort). Requests of size
-// Forever never finish on their own: the engine occupies the device until
-// the owning context is killed.
+// execute runs one request to completion (or abort). The nominal
+// request size is scaled by the device's class speed: a consumer-class
+// card takes longer over the same request than the reference K20.
+// Requests of size Forever never finish on their own: the engine
+// occupies the device until the owning context is killed.
 func (en *engine) execute(p *sim.Proc, r *Request) {
 	r.Started = p.Now()
 	en.current = r
 	en.busyStart = r.Started
 	g := en.dev.eng.NewGate("exec-done")
 	if r.Size < Forever {
-		en.curTimer = en.dev.eng.After(r.Size, g.Open)
+		en.curTimer = en.dev.eng.After(en.dev.scaled(r.Size), g.Open)
 	} else {
 		en.curTimer = nil
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/sim"
 )
 
@@ -146,5 +147,57 @@ func TestStagedRequestsSurviveUnrelatedDoorbell(t *testing.T) {
 	}
 	if ch.LastSubmittedRef != r1.Ref {
 		t.Fatalf("LastSubmittedRef = %d, want %d", ch.LastSubmittedRef, r1.Ref)
+	}
+}
+
+// TestClassSpeedScalesExecution: the same nominal request occupies a
+// consumer-class engine twice as long and a nextgen engine half as long
+// as the reference, and Forever never completes regardless of class.
+func TestClassSpeedScalesExecution(t *testing.T) {
+	runOne := func(class string) sim.Duration {
+		e := sim.NewEngine()
+		cfg := DefaultConfig()
+		if class != "" {
+			c, err := cost.ClassByName(class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Class = c
+		}
+		d := New(e, cfg)
+		ctx := mustCtx(t, d, 1)
+		ch := mustChan(t, d, ctx, Compute)
+		r := submit(e, ch, 100*time.Microsecond, Compute)
+		e.RunFor(10 * time.Millisecond)
+		if !r.IsDone() {
+			t.Fatalf("class %q: request never completed", class)
+		}
+		return r.Completed.Sub(r.Started)
+	}
+	ref := runOne("")
+	if got := runOne("k20"); got != ref {
+		t.Errorf("k20 execution %v differs from zero-class reference %v", got, ref)
+	}
+	if got := runOne("consumer"); got != 2*ref {
+		t.Errorf("consumer execution = %v, want %v", got, 2*ref)
+	}
+	if got := runOne("nextgen"); got != ref/2 {
+		t.Errorf("nextgen execution = %v, want %v", got, ref/2)
+	}
+
+	// Forever on the fastest class still never finishes.
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Class, _ = cost.ClassByName("nextgen")
+	d := New(e, cfg)
+	ctx := mustCtx(t, d, 1)
+	ch := mustChan(t, d, ctx, Compute)
+	r := submit(e, ch, Forever, Compute)
+	e.RunFor(50 * time.Millisecond)
+	if r.IsDone() {
+		t.Fatal("Forever request completed on a fast class")
+	}
+	if d.ClassSpeed() != 2.0 {
+		t.Fatalf("ClassSpeed = %v, want 2.0", d.ClassSpeed())
 	}
 }

@@ -75,6 +75,11 @@ type Config struct {
 	// Name identifies the device instance in multi-device fleets
 	// ("dev0", "dev1", ...); single-device stacks may leave it empty.
 	Name string
+	// Class is the device generation (cost.Classes); the zero value is
+	// the reference class. Requests of nominal size S occupy a class-c
+	// engine for S/c.Speed, and Costs is derived for the class at
+	// construction (cost.Model.ForClass).
+	Class cost.Class
 	// MaxContexts is the number of hardware contexts (48 on the GTX670).
 	MaxContexts int
 	// MemoryBytes is onboard RAM (2 GiB on the GTX670).
@@ -236,9 +241,10 @@ func (ch *Channel) StagedRequests() []*Request { return ch.staged }
 
 // Device is the accelerator.
 type Device struct {
-	eng  *sim.Engine
-	cfg  Config
-	cost cost.Model
+	eng   *sim.Engine
+	cfg   Config
+	cost  cost.Model
+	speed float64 // class speed factor, cached off cfg.Class
 
 	contexts  map[int]*Context
 	nextCtxID int
@@ -264,10 +270,12 @@ func New(e *sim.Engine, cfg Config) *Device {
 	if cfg.GraphicsPenalty <= 0 {
 		cfg.GraphicsPenalty = 1
 	}
+	cfg.Class = cfg.Class.OrReference()
 	d := &Device{
 		eng:      e,
 		cfg:      cfg,
-		cost:     cfg.Costs,
+		cost:     cfg.Costs.ForClass(cfg.Class),
+		speed:    cfg.Class.Speed,
 		contexts: make(map[int]*Context),
 		mem:      NewMemoryPool(cfg.MemoryBytes),
 	}
@@ -281,6 +289,24 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 
 // Name returns the device instance name from its Config.
 func (d *Device) Name() string { return d.cfg.Name }
+
+// Class returns the device's generation class.
+func (d *Device) Class() cost.Class { return d.cfg.Class }
+
+// ClassSpeed returns the class's relative speed factor: the rate this
+// device retires nominal work relative to the reference class. Observed
+// device time times ClassSpeed is normalized work.
+func (d *Device) ClassSpeed() float64 { return d.speed }
+
+// scaled converts a nominal request size into this device's execution
+// time. Forever stays Forever: an infinite kernel does not finish
+// faster on a better card.
+func (d *Device) scaled(size sim.Duration) sim.Duration {
+	if d.speed == 1 || size >= Forever {
+		return size
+	}
+	return sim.Duration(float64(size) / d.speed)
+}
 
 // Costs returns the platform latency model in use.
 func (d *Device) Costs() cost.Model { return d.cost }

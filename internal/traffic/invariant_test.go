@@ -40,6 +40,85 @@ func randomScenario(rng *sim.RNG) (streams []Stream, load float64) {
 	return streams, load
 }
 
+// TestNormalizedDFQLeadBoundMixedFleet extends the lead-bound property
+// to heterogeneous fleets: randomized open-loop scenarios served by a
+// mixed-class fleet (one device per class, per-device DFQ with
+// normalized Work charges reconciling through the fleet board) must
+// keep every device's observed lead within its LeadBound — the bound is
+// stated in normalized work, so it is only meaningful because the
+// ledger is. Streams must also keep completing on every scenario: the
+// normalization must not starve anyone.
+func TestNormalizedDFQLeadBoundMixedFleet(t *testing.T) {
+	const scenarios = 6
+	classMixes := [][]string{
+		{"k20", "consumer"},
+		{"k20", "nextgen"},
+		{"k20", "consumer", "nextgen"},
+	}
+	for i := 0; i < scenarios; i++ {
+		i := i
+		t.Run(fmt.Sprintf("scenario%d", i), func(t *testing.T) {
+			rng := sim.NewRNG(sim.StreamSeed(1, "dfq-hetero-invariant", i))
+			classes := classMixes[rng.Intn(len(classMixes))]
+			streams, load := randomScenario(rng)
+			policy, err := fleet.NewPolicy("fastest-fit")
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := sim.NewEngine()
+			srv, err := New(eng, Config{
+				Fleet: fleet.Config{
+					Devices:  len(classes),
+					Classes:  classes,
+					Policy:   policy,
+					Sched:    "dfq",
+					RunLimit: time.Second,
+					Seed:     int64(rng.Intn(1 << 30)),
+				},
+				AdmitDepth: 256,
+				Streams:    streams,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.RunFor(600 * time.Millisecond)
+			if err := srv.SetupError(); err != nil {
+				t.Fatal(err)
+			}
+
+			var cycles int64
+			for _, node := range srv.Fleet().Nodes() {
+				dfq := node.DFQ()
+				if dfq == nil {
+					t.Fatal("node scheduler is not DFQ")
+				}
+				cycles += dfq.Cycles
+				if dfq.LeadViolations != 0 {
+					t.Errorf("%s (%s, load %.2f): %d lead-bound violations (max lead %v, bound %v)",
+						node.Device.Name(), node.Class.Name, load,
+						dfq.LeadViolations, dfq.MaxLead, dfq.LeadBound())
+				}
+				if dfq.MaxLead > dfq.LeadBound() {
+					t.Errorf("%s: max observed lead %v exceeds bound %v",
+						node.Device.Name(), dfq.MaxLead, dfq.LeadBound())
+				}
+			}
+			if cycles < 3 {
+				t.Fatalf("only %d engagement episodes fleet-wide; scenario too idle to test anything", cycles)
+			}
+			if srv.Fleet().Board().Episodes == 0 {
+				t.Fatal("no board reconciliations: per-device DFQ is not reporting")
+			}
+			for j := range streams {
+				if srv.Stats(j).Completed == 0 {
+					t.Errorf("stream %d starved: %d arrivals, 0 completions (classes %v, load %.2f)",
+						j, srv.Stats(j).Arrivals, classes, load)
+				}
+			}
+		})
+	}
+}
+
 // TestDFQLeadBoundInvariant is the property-based fairness invariant:
 // across randomized open-loop scenarios (each from its own forked RNG
 // stream), no backlogged tenant's virtual time may lead the minimum —

@@ -12,6 +12,8 @@
 //	neonsim -exp all -json BENCH.json  # machine-readable timings
 //	neonsim -exp serve -load 0.8,1.0,1.2  # custom load-factor sweep
 //	neonsim -exp hetero -classes k20,consumer  # custom fleet class mix
+//	neonsim -exp tiers -weights 8,2,1     # custom premium:standard:best-effort contract
+//	neonsim -exp tiers -tiers premium,premium,standard  # custom admission tiers per role
 //
 // Scenarios within each experiment run on a worker pool (-parallel,
 // default NumCPU); the emitted tables are byte-identical at any width.
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exp"
+	"repro/internal/workload"
 )
 
 // benchRecord is one experiment's machine-readable timing, for tracking
@@ -68,6 +71,47 @@ func parseClasses(s string) ([]string, error) {
 	return out, nil
 }
 
+// parseWeights turns the -weights flag into the tiers experiment's
+// premium/standard/best-effort contract; the empty string keeps the
+// default ratio sweep. Exactly three positive factors are required.
+func parseWeights(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -weights value %q (want positive factors like 4,1,1)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) != 3 {
+		return nil, fmt.Errorf("-weights needs exactly 3 values (premium,standard,best-effort), got %d", len(out))
+	}
+	return out, nil
+}
+
+// parseTiers turns the -tiers flag into the tiers experiment's per-role
+// admission tiers; the empty string keeps each role's namesake tier.
+func parseTiers(s string) ([]workload.Tier, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []workload.Tier
+	for _, part := range strings.Split(s, ",") {
+		tier, err := workload.ParseTier(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -tiers value %q: %v", part, err)
+		}
+		out = append(out, tier)
+	}
+	if len(out) != 3 {
+		return nil, fmt.Errorf("-tiers needs exactly 3 values (one per premium,standard,best-effort role), got %d", len(out))
+	}
+	return out, nil
+}
+
 // parseLoads turns the -load flag into a load-factor sweep; the empty
 // string keeps the experiment's default.
 func parseLoads(s string) ([]float64, error) {
@@ -93,8 +137,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "scenario worker pool width (1 = serial)")
 		jsonOut  = flag.String("json", "", "write per-experiment wall-clock and throughput JSON to this file")
-		loads    = flag.String("load", "", "comma-separated load factors for the serve experiment (default 0.6,0.9,1.1,1.4)")
+		loads    = flag.String("load", "", "comma-separated load factors for the serve and tiers experiments (defaults 0.6,0.9,1.1,1.4 / 1.2,1.8)")
 		classes  = flag.String("classes", "", "comma-separated device classes (k20,consumer,nextgen) for the hetero and serve fleets")
+		weights  = flag.String("weights", "", "premium,standard,best-effort fair-share weights for the tiers experiment (e.g. 4,1,1)")
+		tiers    = flag.String("tiers", "", "admission tiers for the tiers experiment's three roles (e.g. premium,standard,best-effort)")
 	)
 	flag.Parse()
 
@@ -104,6 +150,16 @@ func main() {
 		os.Exit(2)
 	}
 	classMix, err := parseClasses(*classes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
+		os.Exit(2)
+	}
+	weightVec, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
+		os.Exit(2)
+	}
+	tierVec, err := parseTiers(*tiers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
 		os.Exit(2)
@@ -124,6 +180,8 @@ func main() {
 	opts.Parallel = *parallel
 	opts.Loads = loadSweep
 	opts.Classes = classMix
+	opts.Weights = weightVec
+	opts.Tiers = tierVec
 
 	var records []benchRecord
 	run := func(e exp.Experiment) {

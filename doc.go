@@ -20,7 +20,9 @@
 //   - internal/fleet    — the multi-device layer: class-aware device
 //     pools, placement policies (round-robin, least-loaded,
 //     locality-sticky, fastest-fit, class-aware sticky), and fleet-wide
-//     virtual-time reconciliation in normalized work units
+//     virtual-time reconciliation in weighted normalized work units
+//   - internal/traffic  — the open-loop serving layer: arrival
+//     processes, tier-aware admission control, latency stamping
 //   - internal/userlib  — the user-space runtime library analog
 //   - internal/workload — Table 1 application models, Throttle, and
 //     adversarial workloads

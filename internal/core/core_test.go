@@ -444,3 +444,24 @@ func TestSchedulerNames(t *testing.T) {
 		}
 	}
 }
+
+// PerWeight is the weighted-charge conversion every ledger applies:
+// identity at the default weight (so unweighted configurations stay
+// bit-identical), charge/weight otherwise.
+func TestPerWeight(t *testing.T) {
+	if got := PerWeight(Work(1000), 1); got != 1000 {
+		t.Errorf("weight 1 must be the identity, got %v", got)
+	}
+	if got := PerWeight(Work(1000), 0); got != 1000 {
+		t.Errorf("unset weight must be the identity, got %v", got)
+	}
+	if got := PerWeight(Work(1000), -3); got != 1000 {
+		t.Errorf("negative weight must be the identity, got %v", got)
+	}
+	if got := PerWeight(Work(1000), 4); got != 250 {
+		t.Errorf("PerWeight(1000, 4) = %v, want 250", got)
+	}
+	if got := PerWeight(Work(1000), 0.5); got != 2000 {
+		t.Errorf("PerWeight(1000, 0.5) = %v, want 2000", got)
+	}
+}

@@ -48,9 +48,11 @@ type DFQConfig struct {
 // consuming on several devices at once is throttled everywhere, not
 // only where it happens to be sampled.
 //
-// All quantities are in normalized Work, not device time: each device
-// scales its charges by its own class speed before reporting, so the
-// board compares like with like even when the fleet mixes generations.
+// All quantities are in weighted normalized Work, not device time: each
+// device scales its charges by its own class speed and divides by the
+// consuming task's fair-share weight before reporting, so the board
+// compares like with like even when the fleet mixes generations and
+// tenants hold unequal contractual shares.
 type FleetVT interface {
 	ReconcileEpisode(device string, charges map[string]Work,
 		active map[string]bool) map[string]Work
@@ -79,7 +81,8 @@ const (
 // dfqTask is the per-task scheduler state.
 type dfqTask struct {
 	// vt is the task's virtual time: its estimated cumulative usage in
-	// normalized work units (probabilistically updated, per the paper).
+	// normalized work units divided by its fair-share weight
+	// (probabilistically updated, per the paper).
 	vt Work
 	// est is the estimated mean request service time from the most recent
 	// successful sampling run.
@@ -188,11 +191,13 @@ func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
 // LeadBound returns the fairness bound the denial rule enforces: a
 // backlogged task's virtual time may lead the system virtual time by at
 // most one free-run horizon (past which it is denied and stops being
-// charged) plus one engagement window (the most it can be charged in
-// the episode that pushes it over), both converted to normalized work
-// at this device's class speed. Both terms vary per episode, so the
-// bound is stated over the largest observed values. The property test
-// TestDFQLeadBoundInvariant asserts MaxLead never exceeds it.
+// charged) plus one engagement window divided by the lightest charged
+// weight (the most any task's ledger can advance in the episode that
+// pushes it over), both converted to normalized work at this device's
+// class speed. Both terms vary per episode, so the bound is stated over
+// the largest observed values. The property tests
+// TestDFQLeadBoundInvariant and TestWeightedDFQLeadBoundInvariant
+// assert MaxLead never exceeds it.
 func (d *DisengagedFairQueueing) LeadBound() Work {
 	return d.maxFreeRun + d.maxWindow
 }
@@ -346,11 +351,12 @@ func (d *DisengagedFairQueueing) run(p *sim.Proc) {
 // Active tasks that were permitted to run are charged the interval in
 // proportion to their mean sampled request sizes — the round-robin
 // arbitration assumption. The device-time charge is converted to
-// normalized work at the device's class speed (see Work), so ledgers
-// stay comparable across a mixed fleet. Tasks that spent the interval
-// denied consumed nothing and are charged nothing, but still count as
-// active (they are waiting, not idle), so they neither forfeit nor
-// accrue credit.
+// normalized work at the device's class speed (see Work) and divided by
+// the task's fair-share weight (see PerWeight), so ledgers stay
+// comparable across a mixed fleet and service under contention is
+// proportional to weight. Tasks that spent the interval denied consumed
+// nothing and are charged nothing, but still count as active (they are
+// waiting, not idle), so they neither forfeit nor accrue credit.
 func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duration) {
 	speed := d.chargeSpeed()
 	windowW := WorkFor(window, speed)
@@ -358,11 +364,15 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 
 	var estSum sim.Duration
 	var active, charged []*neon.Task
+	minWeight := 1.0
 	for _, t := range d.k.Tasks() {
 		s := d.state(t)
 		if s.activeAtBarrier {
 			active = append(active, t)
 			if !s.denied { // denial state still reflects the last interval
+				if len(charged) == 0 || t.ShareWeight() < minWeight {
+					minWeight = t.ShareWeight()
+				}
 				charged = append(charged, t)
 				estSum += s.est
 			}
@@ -370,12 +380,15 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	}
 
 	// Step 1: advance each running task's virtual time by its estimated
-	// share of the elapsed interval, normalized to work units.
+	// share of the elapsed interval, normalized to work units and scaled
+	// down by its weight.
 	charges := make(map[*neon.Task]Work, len(charged))
 	if estSum > 0 {
 		for _, t := range charged {
 			s := d.st[t]
-			delta := WorkFor(sim.Duration(float64(window)*float64(s.est)/float64(estSum)), speed)
+			delta := PerWeight(
+				WorkFor(sim.Duration(float64(window)*float64(s.est)/float64(estSum)), speed),
+				t.ShareWeight())
 			s.vt += delta
 			charges[t] = delta
 		}
@@ -406,11 +419,13 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	// Instrumentation: after charging and system-virtual-time advance,
 	// every backlogged task's lead must sit within LeadBound — it was
 	// under the previous free-run horizon when last charged (or it would
-	// have been denied), and one episode charges at most one window. The
-	// current window joins the bound before the check; the upcoming free
-	// run only after, since no task has run under it yet.
-	if windowW > d.maxWindow {
-		d.maxWindow = windowW
+	// have been denied), and one episode charges a task at most one
+	// window divided by its weight, so the episode's bound contribution
+	// is the window over the lightest charged weight. The current window
+	// joins the bound before the check; the upcoming free run only
+	// after, since no task has run under it yet.
+	if episodeW := PerWeight(windowW, minWeight); episodeW > d.maxWindow {
+		d.maxWindow = episodeW
 	}
 	for _, t := range active {
 		lead := d.st[t].vt - d.sysVT

@@ -107,15 +107,16 @@ func (o *OracleFairQueueing) run(p *sim.Proc) {
 		o.Intervals++
 		o.k.EnforceRunLimit()
 
-		// Step 1: charge true per-task usage, read from the device and
-		// normalized to work units at the device's class speed.
+		// Step 1: charge true per-task usage, read from the device,
+		// normalized to work units at the device's class speed, and
+		// divided by the task's fair-share weight.
 		var active []*neon.Task
 		for _, t := range o.k.Tasks() {
 			s := o.state(t)
 			busy := t.BusyTime()
 			delta := busy - s.lastBusy
 			s.lastBusy = busy
-			s.vt += WorkFor(delta, o.speed)
+			s.vt += PerWeight(WorkFor(delta, o.speed), t.ShareWeight())
 			if delta > 0 || t.PendingRequests() > 0 || t.Gate().Waiters() > 0 {
 				active = append(active, t)
 			}

@@ -27,11 +27,15 @@ const DefaultSlice = 30 * time.Millisecond
 // the holder's pages are mapped for direct access during its slice, so
 // interception costs are paid only by tasks trying to run out of turn.
 //
-// Overuse is accounted in normalized work (drain time past the slice
-// boundary scaled by the device's class speed), and a turn is forfeited
-// once the debt reaches one slice's worth of work at that device — so
-// the overuse ledger means the same thing on every class of a mixed
-// fleet.
+// Overuse is accounted in weighted normalized work (drain time past the
+// slice boundary scaled by the device's class speed and divided by the
+// task's fair-share weight), and a turn is forfeited once the debt
+// reaches one slice's worth of work at that device — so the overuse
+// ledger means the same thing on every class of a mixed fleet, and a
+// heavier-weight task works off the same overrun in fewer forfeited
+// turns. The token rotation itself stays unweighted round-robin, so
+// timeslicing differentiates weights only at the overuse margin — the
+// contrast the tiers experiment shows against weighted DFQ.
 type Timeslice struct {
 	slice      sim.Duration
 	disengaged bool
@@ -155,7 +159,7 @@ func (ts *Timeslice) run(p *sim.Proc) {
 			}
 			res := ts.k.Drain(p, []*neon.Task{t})
 			if t.Alive {
-				ts.overuse[t] += WorkFor(res.Overuse(t, deadline), ts.speed)
+				ts.overuse[t] += PerWeight(WorkFor(res.Overuse(t, deadline), ts.speed), t.ShareWeight())
 			}
 		}
 	}

@@ -29,6 +29,21 @@ func WorkFor(d sim.Duration, speed float64) Work {
 	return Work(float64(d) * speed)
 }
 
+// PerWeight converts a service charge into the weighted virtual-time
+// advance a fair-queueing ledger records for it: charge divided by the
+// consuming principal's fair-share weight. A weight-4 principal's
+// virtual time advances at a quarter of the rate its service accrues,
+// so under contention it is denied a quarter as often and receives four
+// times the share — weighted fair queueing in the MQFQ/Gavel sense. The
+// default weight 1 (also any non-positive weight) is the identity, so
+// unweighted ledgers are bit-for-bit unchanged.
+func PerWeight(w Work, weight float64) Work {
+	if weight == 1 || weight <= 0 {
+		return w
+	}
+	return Work(float64(w) / weight)
+}
+
 // Duration reports the work as reference-class device time.
 func (w Work) Duration() sim.Duration { return sim.Duration(w) }
 

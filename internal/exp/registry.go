@@ -33,6 +33,7 @@ func Registry() []Experiment {
 		{"fleet", "multi-device placement policies and fleet-wide fairness", FleetExp},
 		{"serve", "open-loop traffic: latency SLOs, admission control, overload", ServeExp},
 		{"hetero", "mixed device classes: normalized vs raw DFQ accounting", HeteroExp},
+		{"tiers", "weighted shares and SLO service tiers under overload", TiersExp},
 	}
 }
 

@@ -44,6 +44,16 @@ type Options struct {
 	// fleet of these classes instead of a homogeneous one. Nil keeps
 	// each experiment's default.
 	Classes []string
+	// Weights overrides the tiers experiment's premium/standard/
+	// best-effort fair-share weight vector (cmd/neonsim -weights): three
+	// positive factors, replacing the default premium-ratio sweep with
+	// exactly this contract. Nil keeps the sweep.
+	Weights []float64
+	// Tiers overrides the tiers experiment's admission tier per role
+	// (cmd/neonsim -tiers): three workload tiers assigned to the
+	// premium/standard/best-effort streams in order. Nil keeps each
+	// role's namesake tier.
+	Tiers []workload.Tier
 }
 
 // DefaultPenalty is the graphics arbitration bias observed in Section

@@ -236,8 +236,14 @@ func ServeExp(opts Options) *report.Table {
 	for _, r := range RunJobs(opts, jobs) {
 		res := r.Value.(ServeResult)
 		adm := "on"
+		shed := report.Pct(res.ShedRate)
 		if !res.Admission {
+			// A disabled controller makes no decisions (and counts none),
+			// so its shed rate is not a measured zero — mark it absent
+			// rather than printing a 0.0% indistinguishable from an
+			// enabled controller that never shed.
 			adm = "off"
+			shed = "-"
 		}
 		t.AddRow(
 			report.F(res.Load, 2),
@@ -249,7 +255,7 @@ func ServeExp(opts Options) *report.Table {
 			report.MS(res.P99),
 			report.MS(res.VictimP99),
 			report.F(res.GoodputPerSec, 0),
-			report.Pct(res.ShedRate),
+			shed,
 			fmt.Sprintf("%d", res.QueueDepth),
 			report.Pct(res.Utilization),
 		)
@@ -257,6 +263,6 @@ func ServeExp(opts Options) *report.Table {
 	t.AddNote("open-loop arrivals: sources never slow down, so load > 1.0 is sustained overload, not a transient")
 	t.AddNote("population: 2 Poisson user aggregates, 1 diurnal web stream, 1 deterministic victim probe, 1 MMPP burst adversary")
 	t.AddNote("victim p99 under the adversary's bursts is the protection headline: fair queueing holds it while timeslicing trades it for slice latency")
-	t.AddNote("adm=off rows: without admission control the backlog (qdepth) grows without bound under overload")
+	t.AddNote("adm=off rows: admission disabled (no shed decisions counted; shed shown as -), so the backlog (qdepth) grows without bound under overload")
 	return t
 }

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestTiersSerialParallelIdentical: the tiers table must be
+// byte-identical at any worker-pool width.
+func TestTiersSerialParallelIdentical(t *testing.T) {
+	serial := Quick()
+	serial.Parallel = 1
+	parallel := Quick()
+	parallel.Parallel = 4
+	a := TiersExp(serial).String()
+	b := TiersExp(parallel).String()
+	if a != b {
+		t.Fatalf("tiers output differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestTiersSharesShape pins the shares probe's qualitative claims at
+// quick scale: weighted DFQ delivers a premium share proportional to
+// its weight and keeps every principal within the entitlement bound;
+// the unweighted ablation flattens the same 4x contract to ~parity, and
+// timeslice's unweighted rotation cannot express it at all.
+func TestTiersSharesShape(t *testing.T) {
+	opts := Quick()
+	four := [3]float64{4, 1, 1}
+	two := [3]float64{2, 1, 1}
+
+	weighted := RunTierShareCell(opts, "dfq", "weighted", four)
+	if weighted.PremStdRatio < 2.5 {
+		t.Errorf("weighted dfq prem/std = %.2f, want ~4 (at least 2.5)", weighted.PremStdRatio)
+	}
+	if !weighted.InBound {
+		t.Errorf("weighted dfq entitled = %.2f, outside the %.2f bound", weighted.WorstEntitled, HeteroFairBound)
+	}
+
+	flat := RunTierShareCell(opts, "dfq", "flat", four)
+	if flat.PremStdRatio > 1.4 {
+		t.Errorf("flat dfq prem/std = %.2f, the ablation should flatten the 4x contract to ~1x", flat.PremStdRatio)
+	}
+	if flat.InBound {
+		t.Errorf("flat dfq entitled = %.2f inside the bound; ignoring a 4x weight must break it", flat.WorstEntitled)
+	}
+	if weighted.PremStdRatio <= 2*flat.PremStdRatio {
+		t.Errorf("weights changed little: weighted %.2f vs flat %.2f", weighted.PremStdRatio, flat.PremStdRatio)
+	}
+
+	ts := RunTierShareCell(opts, "ts", "weighted", four)
+	if ts.PremStdRatio > 1.4 || ts.InBound {
+		t.Errorf("timeslice prem/std = %.2f (fair=%v); unweighted rotation should flatten the contract",
+			ts.PremStdRatio, ts.InBound)
+	}
+
+	// A steeper contract buys a larger share.
+	gentler := RunTierShareCell(opts, "dfq", "weighted", two)
+	if weighted.PremStdRatio <= gentler.PremStdRatio {
+		t.Errorf("4x contract share ratio %.2f not above 2x contract %.2f",
+			weighted.PremStdRatio, gentler.PremStdRatio)
+	}
+}
+
+// TestTiersServeShape pins the serve probe: through an overload sweep
+// that sheds best-effort traffic (and increasingly standard traffic),
+// the premium stream is never shed and its p99 stays bounded.
+func TestTiersServeShape(t *testing.T) {
+	opts := Quick()
+	weights := [3]float64{4, 1, 1}
+	mild := RunTierServeCell(opts, 1.2, weights)
+	deep := RunTierServeCell(opts, 1.8, weights)
+	for _, res := range []TierResult{mild, deep} {
+		if res.PremShed != 0 {
+			t.Errorf("load %.2f: premium shed %.1f%%, want exactly 0", res.Load, 100*res.PremShed)
+		}
+		if res.BEShed <= res.StdShed {
+			t.Errorf("load %.2f: best-effort shed %.2f not above standard %.2f — tiers not ordered",
+				res.Load, res.BEShed, res.StdShed)
+		}
+		if res.BEShed < 0.5 {
+			t.Errorf("load %.2f: best-effort shed %.2f, want the scraper mostly refused", res.Load, res.BEShed)
+		}
+	}
+	if deep.StdShed <= mild.StdShed {
+		t.Errorf("standard shed did not grow with overload: %.2f at 1.2 vs %.2f at 1.8",
+			mild.StdShed, deep.StdShed)
+	}
+	// Premium latency must stay flat through the overload step: deeper
+	// overload sheds lower tiers instead of queueing premium.
+	if mild.PremP99 <= 0 || deep.PremP99 > 3*mild.PremP99 {
+		t.Errorf("premium p99 not flat through overload: %v at 1.2 vs %v at 1.8", mild.PremP99, deep.PremP99)
+	}
+}
+
+// TestTiersKnobs: Options.Weights must collapse the ratio sweep to the
+// custom contract (cmd/neonsim -weights) and Options.Tiers must
+// reassign the roles' admission tiers (-tiers).
+func TestTiersKnobs(t *testing.T) {
+	o := Quick()
+	o.Weights = []float64{8, 2, 1}
+	vecs := o.TierWeightVectors()
+	if len(vecs) != 1 || vecs[0] != [3]float64{8, 2, 1} {
+		t.Fatalf("TierWeightVectors with override = %v, want single 8:2:1", vecs)
+	}
+	if o.TierServeWeights() != [3]float64{8, 2, 1} {
+		t.Fatalf("TierServeWeights with override = %v", o.TierServeWeights())
+	}
+	tbl := TiersExp(o)
+	// 1 weight vector x (ts + dfq-weighted + dfq-flat) + 2 serve loads.
+	if got, want := len(tbl.Rows), 5; got != want {
+		t.Fatalf("with -weights: %d rows, want %d", got, want)
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "8:2:1" {
+			t.Fatalf("unexpected weights column %q", row[4])
+		}
+	}
+	if got := len(Quick().TierWeightVectors()); got != len(DefaultTierRatios) {
+		t.Fatalf("default ratio sweep lost: %d vectors", got)
+	}
+
+	o = Quick()
+	o.Tiers = []workload.Tier{workload.TierPremium, workload.TierPremium, workload.TierStandard}
+	got := o.tierAssignments()
+	want := [3]workload.Tier{workload.TierPremium, workload.TierPremium, workload.TierStandard}
+	if got != want {
+		t.Fatalf("tierAssignments with override = %v, want %v", got, want)
+	}
+	streams := TierPopulation(2, 1.2, [3]float64{4, 1, 1}, got)
+	for i, s := range streams {
+		if s.Tenant.Tier != want[i] {
+			t.Errorf("stream %d tier = %q, want %q", i, s.Tenant.Tier, want[i])
+		}
+	}
+	// Defaults: each role keeps its namesake tier.
+	def := Quick().tierAssignments()
+	if def != [3]workload.Tier{workload.TierPremium, workload.TierStandard, workload.TierBestEffort} {
+		t.Fatalf("default tier assignments = %v", def)
+	}
+}

@@ -15,13 +15,17 @@ import (
 // tenant drawing service from three devices accrues virtual time three
 // times as fast and is denied everywhere until the others catch up.
 //
-// All quantities are in normalized core.Work: each device converts its
-// observed device time at its own class speed before reporting, so on a
-// heterogeneous fleet a ledger entry means the same amount of service
-// no matter which generation of card provided it. (Under the raw-charge
-// ablation the devices report unscaled device time and the board —
-// unknowingly — compares unlike units; that is the failure mode the
-// hetero experiment demonstrates.)
+// All quantities are in weighted normalized core.Work: each device
+// converts its observed device time at its own class speed and divides
+// by the consuming tenant's fair-share weight before reporting, so on a
+// heterogeneous fleet a ledger entry means the same amount of
+// *entitlement consumed* no matter which generation of card provided
+// the service or how large the tenant's contractual share is — a
+// weight-4 tenant's ledger advances at a quarter rate and it is denied
+// a quarter as often, fleet-wide. (Under the raw-charge ablation the
+// devices report unscaled device time and the board — unknowingly —
+// compares unlike units; that is the failure mode the hetero experiment
+// demonstrates.)
 //
 // Every operation the board performs is commutative across principals
 // (sums, set membership, a minimum), so results do not depend on map

@@ -86,9 +86,10 @@ type Config struct {
 	Classes []string
 	// Policy places tenant rounds; nil defaults to round-robin.
 	Policy Policy
-	// GPU configures every device instance; a zero MaxContexts means
-	// gpu.DefaultConfig(). The per-instance Name and Class are set by
-	// the fleet.
+	// GPU configures every device instance. Unset fields (zero
+	// MaxContexts, MemoryBytes, GraphicsPenalty, or Costs) are filled
+	// from gpu.DefaultConfig() individually — fields the caller did set
+	// are kept. The per-instance Name and Class are set by the fleet.
 	GPU gpu.Config
 	// Sched names the per-device scheduling policy: "dfq" (default),
 	// "timeslice"/"ts", or "dts". Only DFQ participates in fleet-wide
@@ -147,9 +148,22 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 	}
 	f := &Fleet{eng: eng, policy: policy, board: NewBoard(), seed: cfg.Seed}
 	for i := 0; i < cfg.Devices; i++ {
+		// Default only the unset GPU fields: a caller that sets, say,
+		// GraphicsPenalty but leaves MaxContexts zero must keep its
+		// penalty, not have the whole config silently replaced.
 		gcfg := cfg.GPU
+		def := gpu.DefaultConfig()
 		if gcfg.MaxContexts <= 0 {
-			gcfg = gpu.DefaultConfig()
+			gcfg.MaxContexts = def.MaxContexts
+		}
+		if gcfg.MemoryBytes <= 0 {
+			gcfg.MemoryBytes = def.MemoryBytes
+		}
+		if gcfg.GraphicsPenalty <= 0 {
+			gcfg.GraphicsPenalty = def.GraphicsPenalty
+		}
+		if gcfg.Costs == (cost.Model{}) {
+			gcfg.Costs = def.Costs
 		}
 		gcfg.Name = fmt.Sprintf("dev%d", i)
 		class := cost.ReferenceClass()
@@ -275,12 +289,22 @@ func (n *Node) BusySince() sim.Duration { return n.Device.TotalBusy() - n.busyAt
 
 // Utilization returns the node's exec-engine busy fraction of the
 // measurement window since the last ResetStats — the per-node signal
-// the serve and hetero experiments report.
+// the serve and hetero experiments report. The result is clamped to
+// [0, 1]: a caller passing a window shorter than the busy time
+// accumulated since ResetStats gets a saturated device, not an
+// impossible >100% reading.
 func (n *Node) Utilization(window sim.Duration) float64 {
 	if window <= 0 {
 		return 0
 	}
-	return float64(n.BusySince()) / float64(window)
+	u := float64(n.BusySince()) / float64(window)
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
 }
 
 // WorkSince returns the normalized work the node retired since the last

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gpu"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -91,6 +93,110 @@ func TestRequestDoneUnderflowPanicsWithNodeName(t *testing.T) {
 	}
 	if n.Load() != 0 {
 		t.Fatalf("load = %d after refused retires, want 0", n.Load())
+	}
+}
+
+// Regression: a partially populated cfg.GPU must keep the caller's
+// fields and default only the unset ones — fleet.New used to replace
+// the whole struct with gpu.DefaultConfig() whenever MaxContexts was
+// zero, silently discarding, e.g., a custom GraphicsPenalty.
+func TestFleetGPUConfigDefaultsOnlyUnsetFields(t *testing.T) {
+	f, err := New(sim.NewEngine(), Config{
+		Devices: 2,
+		GPU:     gpu.Config{GraphicsPenalty: 5},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	def := gpu.DefaultConfig()
+	for i, n := range f.Nodes() {
+		got := n.Device.Config()
+		if got.GraphicsPenalty != 5 {
+			t.Errorf("node %d: GraphicsPenalty = %d, caller's 5 was discarded", i, got.GraphicsPenalty)
+		}
+		if got.MaxContexts != def.MaxContexts {
+			t.Errorf("node %d: MaxContexts = %d, want default %d", i, got.MaxContexts, def.MaxContexts)
+		}
+		if got.MemoryBytes != def.MemoryBytes {
+			t.Errorf("node %d: MemoryBytes = %d, want default %d", i, got.MemoryBytes, def.MemoryBytes)
+		}
+		if got.Costs == (cost.Model{}) {
+			t.Errorf("node %d: zero cost model; default was not applied", i)
+		}
+	}
+	// The other direction: a set MaxContexts with everything else unset
+	// keeps the custom value and still gets defaults for the rest.
+	f, err = New(sim.NewEngine(), Config{Devices: 1, GPU: gpu.Config{MaxContexts: 7}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := f.Nodes()[0].Device.Config()
+	if got.MaxContexts != 7 {
+		t.Errorf("MaxContexts = %d, want caller's 7", got.MaxContexts)
+	}
+	if got.GraphicsPenalty != def.GraphicsPenalty || got.Costs == (cost.Model{}) {
+		t.Errorf("unset fields not defaulted: penalty %d, costs zero=%v",
+			got.GraphicsPenalty, got.Costs == (cost.Model{}))
+	}
+}
+
+// Regression: Node.Utilization must stay in [0, 1] even when the caller
+// passes a window shorter than the busy time accumulated since
+// ResetStats.
+func TestNodeUtilizationClamped(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{Devices: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	f.Launch(workload.FleetPopulation(1, "uniform")[0])
+	eng.RunFor(100 * time.Millisecond)
+	n := f.Nodes()[0]
+	if n.BusySince() <= time.Millisecond {
+		t.Fatalf("saturating tenant kept the device only %v busy; scenario too idle", n.BusySince())
+	}
+	if u := n.Utilization(time.Millisecond); u != 1 {
+		t.Errorf("Utilization(1ms) = %v with %v busy, want clamp to 1", u, n.BusySince())
+	}
+	if u := n.Utilization(100 * time.Millisecond); u < 0 || u > 1 {
+		t.Errorf("Utilization(full window) = %v, want within [0,1]", u)
+	}
+	if u := n.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", u)
+	}
+}
+
+// Weighted fair queueing end to end on one device: two saturating
+// tenants with a 4x weight ratio must split device time ~4:1, i.e.
+// their WeightedWork (normalized work over weight) must come out about
+// equal.
+func TestFleetWeightedSharesProportional(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{Devices: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	specs := workload.FleetPopulation(1, "uniform")[:2]
+	specs[0].Name, specs[0].Weight = "premium", 4
+	specs[1].Name, specs[1].Weight = "standard", 1
+	prem := f.Launch(specs[0])
+	std := f.Launch(specs[1])
+	eng.RunFor(200 * time.Millisecond)
+	f.ResetStats()
+	eng.RunFor(800 * time.Millisecond)
+
+	for _, tn := range []*Tenant{prem, std} {
+		if tn.SetupError() != nil {
+			t.Fatalf("tenant %s setup: %v", tn.Spec.Name, tn.SetupError())
+		}
+	}
+	ratio := float64(prem.NormalizedWork()) / float64(std.NormalizedWork())
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("premium/standard service ratio = %.2f, want ~4 (weighted DFQ)", ratio)
+	}
+	wp, ws := float64(prem.WeightedWork()), float64(std.WeightedWork())
+	if lo, hi := min(wp, ws), max(wp, ws); lo/hi < 0.6 {
+		t.Errorf("weighted work not equalized: premium %.0f vs standard %.0f", wp, ws)
 	}
 }
 

@@ -104,6 +104,16 @@ func (t *Tenant) NormalizedWork() core.Work {
 	return w - t.work0
 }
 
+// WeightedWork returns the tenant's normalized work divided by its
+// fair-share weight — the unit weighted fair queueing equalizes across
+// tenants. Under contention every backlogged tenant's WeightedWork
+// should advance at the same rate no matter how its Weight (and hence
+// its raw share) differs; the tiers experiment's fairness columns are
+// computed over it.
+func (t *Tenant) WeightedWork() core.Work {
+	return core.PerWeight(t.NormalizedWork(), t.Spec.ShareWeight())
+}
+
 // ResetStats clears round statistics and re-baselines service time.
 func (t *Tenant) ResetStats() {
 	t.busy0 += t.ServiceTime()
@@ -133,6 +143,7 @@ func (t *Tenant) clientOn(p *sim.Proc, n *Node) (*userlib.Client, error) {
 		return c, nil
 	}
 	task := n.Kernel.NewTask(t.Spec.Name)
+	task.Weight = t.Spec.ShareWeight()
 	kinds := t.Spec.Channels
 	if len(kinds) == 0 {
 		kinds = []gpu.Kind{gpu.Compute}

@@ -290,6 +290,10 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // Name returns the device instance name from its Config.
 func (d *Device) Name() string { return d.cfg.Name }
 
+// Config returns the device's effective configuration (after
+// construction-time defaulting).
+func (d *Device) Config() Config { return d.cfg }
+
 // Class returns the device's generation class.
 func (d *Device) Class() cost.Class { return d.cfg.Class }
 

@@ -14,6 +14,15 @@ type Task struct {
 	Name  string
 	Alive bool
 
+	// Weight is the task's fair-share weight: under contention a
+	// fair-queueing scheduler grants service in proportion to it (a
+	// weight-4 task receives four times a weight-1 task's share), because
+	// every ledger charges the task's virtual time at charge/Weight. Zero
+	// or negative means the default weight of 1 — equal shares, the
+	// paper's regime. Set it before the task submits work; schedulers
+	// read it through ShareWeight at every charging step.
+	Weight float64
+
 	// ExitReason records how the task ended ("exited" or "killed: ...").
 	ExitReason string
 
@@ -45,6 +54,17 @@ func (t *Task) Go(name string, body func(p *sim.Proc)) *sim.Proc {
 // Gate returns the task's scheduler wait gate. Scheduler implementations
 // block faulting processes on it and broadcast it on state changes.
 func (t *Task) Gate() *sim.Gate { return t.gate }
+
+// ShareWeight returns the task's effective fair-share weight: Weight, or
+// 1 when Weight is unset (zero or negative). Schedulers divide every
+// virtual-time charge by it, so service under contention is proportional
+// to it.
+func (t *Task) ShareWeight() float64 {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
 
 // Channels returns the kernel's per-channel state for this task.
 func (t *Task) Channels() []*ChannelState { return t.channels }

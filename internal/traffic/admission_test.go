@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Boundary: an arrival at exactly MaxDepth is shed (the bound is the
+// first refused depth), one below is admitted.
+func TestAdmissionDepthBoundary(t *testing.T) {
+	a := Admission{MaxDepth: 4}
+	if !a.Admit(3) {
+		t.Error("depth MaxDepth-1 must be admitted")
+	}
+	if a.Admit(4) {
+		t.Error("depth exactly MaxDepth must be shed")
+	}
+	if a.Admit(5) {
+		t.Error("depth past MaxDepth must be shed")
+	}
+	if a.Admitted != 1 || a.Shed != 2 {
+		t.Errorf("counters admitted=%d shed=%d, want 1/2", a.Admitted, a.Shed)
+	}
+	if got := a.ShedRate(); got != 2.0/3.0 {
+		t.Errorf("ShedRate = %v, want 2/3", got)
+	}
+}
+
+// Counter reset mid-window: ResetStats must zero every counter (global
+// and per-tier) and subsequent decisions must count from scratch.
+func TestAdmissionResetMidWindow(t *testing.T) {
+	a := Admission{MaxDepth: 2}
+	a.AdmitTier(workload.TierBestEffort, 0)
+	a.AdmitTier(workload.TierBestEffort, 5)
+	a.Admit(5)
+	if a.Admitted != 1 || a.Shed != 2 {
+		t.Fatalf("pre-reset admitted=%d shed=%d, want 1/2", a.Admitted, a.Shed)
+	}
+	a.ResetStats()
+	if a.Admitted != 0 || a.Shed != 0 || a.ShedRate() != 0 {
+		t.Errorf("reset left admitted=%d shed=%d rate=%v", a.Admitted, a.Shed, a.ShedRate())
+	}
+	for _, tier := range workload.Tiers() {
+		if adm, shed := a.TierCounts(tier); adm != 0 || shed != 0 {
+			t.Errorf("reset left %s counts %d/%d", tier, adm, shed)
+		}
+	}
+	if !a.Admit(1) || a.Admit(2) {
+		t.Error("post-reset decisions wrong")
+	}
+	if a.Admitted != 1 || a.Shed != 1 {
+		t.Errorf("post-reset counters admitted=%d shed=%d, want 1/1", a.Admitted, a.Shed)
+	}
+}
+
+// Disabled controllers (MaxDepth <= 0, no overrides) admit everything
+// and count nothing, so an admission-off run is distinguishable from an
+// enabled controller that simply never shed.
+func TestAdmissionDisabledCountsNothing(t *testing.T) {
+	a := Admission{}
+	if a.Enabled() {
+		t.Fatal("zero-value Admission must be disabled")
+	}
+	for depth := 0; depth < 1000; depth += 100 {
+		if !a.Admit(depth) {
+			t.Fatalf("disabled controller shed at depth %d", depth)
+		}
+	}
+	if a.Admitted != 0 || a.Shed != 0 {
+		t.Errorf("disabled controller counted decisions: admitted=%d shed=%d", a.Admitted, a.Shed)
+	}
+	if adm, shed := a.TierCounts(workload.TierStandard); adm != 0 || shed != 0 {
+		t.Errorf("disabled controller counted tier decisions: %d/%d", adm, shed)
+	}
+}
+
+// Tier ordering: best-effort sheds at half the standard bound, premium
+// only past 1.25x of it — so a rising queue refuses best-effort first,
+// then standard, then premium.
+func TestAdmissionTierBoundsOrdered(t *testing.T) {
+	a := Admission{MaxDepth: 96}
+	be, std, prem := a.Bound(workload.TierBestEffort), a.Bound(workload.TierStandard), a.Bound(workload.TierPremium)
+	if be != 48 || std != 96 || prem != 120 {
+		t.Fatalf("bounds be=%d std=%d prem=%d, want 48/96/120", be, std, prem)
+	}
+	// Depth between the best-effort and standard bounds: only
+	// best-effort is refused.
+	depth := 60
+	if a.AdmitTier(workload.TierBestEffort, depth) {
+		t.Error("best-effort admitted past its bound")
+	}
+	if !a.AdmitTier(workload.TierStandard, depth) || !a.AdmitTier(workload.TierPremium, depth) {
+		t.Error("standard/premium shed below their bounds")
+	}
+	// Depth between the standard and premium bounds: premium still goes.
+	depth = 100
+	if a.AdmitTier(workload.TierStandard, depth) {
+		t.Error("standard admitted past its bound")
+	}
+	if !a.AdmitTier(workload.TierPremium, depth) {
+		t.Error("premium shed below its bound")
+	}
+	if a.AdmitTier(workload.TierPremium, 120) {
+		t.Error("premium admitted at its bound")
+	}
+	if adm, shed := a.TierCounts(workload.TierBestEffort); adm != 0 || shed != 1 {
+		t.Errorf("best-effort counts %d/%d, want 0/1", adm, shed)
+	}
+	if adm, shed := a.TierCounts(workload.TierPremium); adm != 2 || shed != 1 {
+		t.Errorf("premium counts %d/%d, want 2/1", adm, shed)
+	}
+	// The empty tier is the standard tier.
+	if a.Bound(workload.Tier("")) != 96 {
+		t.Error("empty tier must resolve to the standard bound")
+	}
+	// Even at tiny bounds the tiers stay strictly ordered: premium keeps
+	// at least one slot of shed-last headroom over standard.
+	tiny := Admission{MaxDepth: 3}
+	if p, s := tiny.Bound(workload.TierPremium), tiny.Bound(workload.TierStandard); p <= s {
+		t.Errorf("MaxDepth 3: premium bound %d not above standard %d", p, s)
+	}
+}
+
+// Explicit overrides win over the derived defaults and enable the
+// controller on their own.
+func TestAdmissionTierDepthOverrides(t *testing.T) {
+	a := Admission{TierDepths: map[workload.Tier]int{workload.TierBestEffort: 3}}
+	if !a.Enabled() {
+		t.Fatal("TierDepths alone must enable the controller")
+	}
+	if a.Bound(workload.TierBestEffort) != 3 {
+		t.Errorf("override bound = %d, want 3", a.Bound(workload.TierBestEffort))
+	}
+	// Tiers without an override and without MaxDepth are unbounded.
+	if a.Bound(workload.TierStandard) != 0 {
+		t.Errorf("standard bound = %d, want 0 (unbounded)", a.Bound(workload.TierStandard))
+	}
+	if a.AdmitTier(workload.TierBestEffort, 3) {
+		t.Error("override not applied")
+	}
+	if !a.AdmitTier(workload.TierStandard, 1000) {
+		t.Error("unbounded tier must admit at any depth")
+	}
+}

@@ -119,6 +119,65 @@ func TestNormalizedDFQLeadBoundMixedFleet(t *testing.T) {
 	}
 }
 
+// TestWeightedDFQLeadBoundInvariant extends the lead-bound property to
+// weighted tenants: randomized open-loop scenarios whose streams carry
+// random fair-share weights in [0.5, 4]. Virtual time is charged at
+// charge/weight, so the bound's window term is the engagement window
+// over the lightest charged weight (core's LeadBound tracks that);
+// within it, no backlogged tenant may lead the system virtual time,
+// and no stream may starve — a small weight buys a small share, not
+// zero service.
+func TestWeightedDFQLeadBoundInvariant(t *testing.T) {
+	const scenarios = 6
+	for i := 0; i < scenarios; i++ {
+		i := i
+		t.Run(fmt.Sprintf("scenario%d", i), func(t *testing.T) {
+			rng := sim.NewRNG(sim.StreamSeed(1, "dfq-weighted-invariant", i))
+			streams, load := randomScenario(rng)
+			for j := range streams {
+				streams[j].Tenant.Weight = 0.5 + 3.5*rng.Float64()
+				if j == 0 {
+					streams[j].Tenant.Weight = 4 // always one heavyweight in the mix
+				}
+			}
+			eng := sim.NewEngine()
+			srv, err := New(eng, Config{
+				Fleet:      fleet.Config{Devices: 1, Sched: "dfq", RunLimit: time.Second, Seed: int64(rng.Intn(1 << 30))},
+				AdmitDepth: 256,
+				Streams:    streams,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.RunFor(600 * time.Millisecond)
+			if err := srv.SetupError(); err != nil {
+				t.Fatal(err)
+			}
+
+			dfq := srv.Fleet().Nodes()[0].DFQ()
+			if dfq == nil {
+				t.Fatal("node scheduler is not DFQ")
+			}
+			if dfq.Cycles < 3 {
+				t.Fatalf("only %d engagement episodes; scenario too idle to test anything", dfq.Cycles)
+			}
+			if dfq.LeadViolations != 0 {
+				t.Errorf("load %.2f: %d weighted lead-bound violations (max lead %v, bound %v)",
+					load, dfq.LeadViolations, dfq.MaxLead, dfq.LeadBound())
+			}
+			if dfq.MaxLead > dfq.LeadBound() {
+				t.Errorf("max observed lead %v exceeds weighted bound %v", dfq.MaxLead, dfq.LeadBound())
+			}
+			for j := range streams {
+				if srv.Stats(j).Completed == 0 {
+					t.Errorf("stream %d (weight %.2f) starved: %d arrivals, 0 completions (load %.2f)",
+						j, streams[j].Tenant.ShareWeight(), srv.Stats(j).Arrivals, load)
+				}
+			}
+		})
+	}
+}
+
 // TestDFQLeadBoundInvariant is the property-based fairness invariant:
 // across randomized open-loop scenarios (each from its own forked RNG
 // stream), no backlogged tenant's virtual time may lead the minimum —

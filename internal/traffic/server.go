@@ -42,8 +42,10 @@ type Stream struct {
 // ResetStats.
 type StreamStats struct {
 	// Arrivals counts open-loop arrivals; Shed the ones refused at the
-	// front door; Completed the ones that finished service; Aborted the
-	// ones killed with their context.
+	// front door (a stream belongs to exactly one admission tier, so
+	// this is the stream's per-tier shed counter — Admission.TierCounts
+	// holds the cross-stream tier aggregates); Completed the ones that
+	// finished service; Aborted the ones killed with their context.
 	Arrivals  int64
 	Shed      int64
 	Completed int64
@@ -78,9 +80,14 @@ type Config struct {
 	// Fleet configures the device pool (devices, placement policy,
 	// per-device scheduler). The fleet's Seed also feeds stream RNGs.
 	Fleet fleet.Config
-	// AdmitDepth bounds the fleet-wide queue depth; <= 0 disables
-	// admission control.
+	// AdmitDepth is the standard tier's fleet queue-depth bound; each
+	// stream is admitted against its tenant's tier bound derived from it
+	// (best-effort sheds at half this depth, premium at 1.25x — see
+	// Admission.Bound). <= 0 disables admission control unless
+	// TierDepths is set.
 	AdmitDepth int
+	// TierDepths overrides the derived per-tier admission bounds.
+	TierDepths map[workload.Tier]int
 	// Streams is the tenant population, one open-loop source each.
 	Streams []Stream
 }
@@ -94,6 +101,7 @@ type stream struct {
 	disp  map[*fleet.Node]*dispatcher
 	size  sim.Duration
 	kind  gpu.Kind
+	tier  workload.Tier
 }
 
 // Server drives open-loop request streams through a placed, admitted,
@@ -112,7 +120,7 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{fleet: f, adm: Admission{MaxDepth: cfg.AdmitDepth}}
+	s := &Server{fleet: f, adm: Admission{MaxDepth: cfg.AdmitDepth, TierDepths: cfg.TierDepths}}
 	for i, spec := range cfg.Streams {
 		st := &stream{
 			spec: spec,
@@ -121,6 +129,7 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 			disp: make(map[*fleet.Node]*dispatcher),
 			size: spec.Tenant.Mix[0].Size,
 			kind: spec.Tenant.Mix[0].Kind,
+			tier: spec.Tenant.Tier.Normalize(),
 		}
 		s.streams = append(s.streams, st)
 		eng.Spawn("arrivals/"+spec.Tenant.Name, s.generator(st))
@@ -171,10 +180,12 @@ func (s *Server) generator(st *stream) func(*sim.Proc) {
 	}
 }
 
-// arrive handles one arrival at the front door.
+// arrive handles one arrival at the front door. Admission is decided
+// against the arriving tenant's tier bound, so under rising backlog
+// best-effort streams shed first and premium streams last.
 func (s *Server) arrive(p *sim.Proc, st *stream) {
 	st.stats.Arrivals++
-	if !s.adm.Admit(s.fleet.QueueDepth()) {
+	if !s.adm.AdmitTier(st.tier, s.fleet.QueueDepth()) {
 		st.stats.Shed++
 		return
 	}

@@ -8,8 +8,59 @@ import (
 	"repro/internal/sim"
 )
 
+// Tier is a tenant's service-level contract class. It drives the
+// front-door admission thresholds (internal/traffic): under overload
+// best-effort traffic is shed first and premium last. It is orthogonal
+// to Weight, which sets the tenant's share of device time once
+// admitted; a production contract typically raises both together.
+type Tier string
+
+// The service tiers, from most to least protected.
+const (
+	// TierPremium is shed last: its admission bound sits above the
+	// standard tier's, so premium arrivals are still accepted while
+	// standard traffic is already being refused.
+	TierPremium Tier = "premium"
+	// TierStandard is the default contract and the reference bound —
+	// the tier every pre-tier tenant implicitly held.
+	TierStandard Tier = "standard"
+	// TierBestEffort is shed first: batch scrapers and background fill
+	// whose arrivals are refused as soon as the fleet begins to queue.
+	TierBestEffort Tier = "best-effort"
+)
+
+// Tiers lists the service tiers in protection order (most protected
+// first).
+func Tiers() []Tier { return []Tier{TierPremium, TierStandard, TierBestEffort} }
+
+// ParseTier resolves a tier name (as typed on a command line); the
+// empty string is the standard tier. Unknown names are an error listing
+// the valid tiers.
+func ParseTier(name string) (Tier, error) {
+	switch Tier(name) {
+	case "", TierStandard:
+		return TierStandard, nil
+	case TierPremium:
+		return TierPremium, nil
+	case TierBestEffort:
+		return TierBestEffort, nil
+	default:
+		return "", fmt.Errorf("workload: unknown tier %q (valid: premium, standard, best-effort)", name)
+	}
+}
+
+// Normalize maps the zero value to the standard tier, so specs that
+// never mention tiers keep their pre-tier behavior.
+func (t Tier) Normalize() Tier {
+	if t == "" {
+		return TierStandard
+	}
+	return t
+}
+
 // TenantSpec describes one fleet tenant: a request mix (Spec) plus the
-// locality state the placement layer manages.
+// locality state the placement layer manages and the contract terms
+// (weight, tier) the sharing layers enforce.
 type TenantSpec struct {
 	Spec
 
@@ -24,6 +75,23 @@ type TenantSpec struct {
 	// real tenant population does — and which would let stateless
 	// round-robin placement accidentally behave as if it were sticky.
 	Jitter float64
+
+	// Weight is the tenant's fair-share weight: under contention the
+	// fair-queueing schedulers grant device time in proportion to it.
+	// Zero means the default weight of 1 (equal shares).
+	Weight float64
+
+	// Tier is the tenant's admission service tier; the zero value is
+	// TierStandard.
+	Tier Tier
+}
+
+// ShareWeight returns the tenant's effective weight (1 when unset).
+func (s TenantSpec) ShareWeight() float64 {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
 }
 
 // OpenLoopTenant returns a TenantSpec shaped for the open-loop serving

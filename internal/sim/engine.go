@@ -91,10 +91,11 @@ func (h *eventHeap) Pop() any {
 // caller of Run (before/after running), from event callbacks, or from
 // code executing inside a Proc.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	procs  int // live (unfinished) procs, for leak detection
+	now     Time
+	seq     uint64
+	events  eventHeap
+	pending int // live (uncancelled, unfired) events, kept for O(1) Pending
+	procs   int // live (unfinished) procs, for leak detection
 
 	// stepping guards against re-entrant Run calls.
 	running bool
@@ -122,6 +123,7 @@ func (e *Engine) Schedule(t Time, fn func()) *Timer {
 	stopped := new(bool)
 	ev := &event{t: t, seq: e.seq, fn: fn, stopped: stopped}
 	e.seq++
+	e.pending++
 	heap.Push(&e.events, ev)
 	return &Timer{engine: e, stopped: stopped, when: t}
 }
@@ -154,6 +156,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	*t.stopped = true
+	t.engine.pending--
 	return true
 }
 
@@ -172,6 +175,7 @@ func (e *Engine) Step() bool {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.t
+		e.pending--
 		*ev.stopped = true // consumed; Timer.Stop now reports false
 		ev.fn()
 		e.rethrow()
@@ -222,22 +226,17 @@ func (e *Engine) Reset() {
 		e.events[i] = nil // release the event's closure for GC
 	}
 	e.events = e.events[:0]
+	e.pending = 0
 	e.now = 0
 	e.seq = 0
 	e.hasPanic = false
 	e.panicked = nil
 }
 
-// Pending returns the number of queued (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !*ev.stopped {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued (uncancelled) events. It is O(1):
+// the engine maintains a live counter across Schedule, Stop, dispatch,
+// and Reset instead of scanning the queue.
+func (e *Engine) Pending() int { return e.pending }
 
 // LiveProcs returns the number of spawned processes that have not yet
 // finished. Useful for leak detection in tests.

@@ -19,7 +19,7 @@ type engine struct {
 
 	current  *Request
 	curGate  *sim.Gate
-	curTimer *sim.Timer
+	curTimer sim.Timer
 	lastCtx  *Context
 
 	busy      sim.Duration
@@ -140,7 +140,7 @@ func (en *engine) execute(p *sim.Proc, r *Request) {
 	if r.Size < Forever {
 		en.curTimer = en.dev.eng.After(en.dev.scaled(r.Size), g.Open)
 	} else {
-		en.curTimer = nil
+		en.curTimer = sim.Timer{}
 	}
 	en.curGate = g
 	p.Wait(g)
@@ -150,7 +150,7 @@ func (en *engine) execute(p *sim.Proc, r *Request) {
 	r.ch.Ctx.BusyTime += end.Sub(r.Started)
 	en.current = nil
 	en.curGate = nil
-	en.curTimer = nil
+	en.curTimer = sim.Timer{}
 	if r.Aborted {
 		r.finish()
 		return
@@ -165,9 +165,7 @@ func (en *engine) execute(p *sim.Proc, r *Request) {
 func (en *engine) abortIfContext(ctx *Context) {
 	if en.current != nil && en.current.ch.Ctx == ctx {
 		en.current.Aborted = true
-		if en.curTimer != nil {
-			en.curTimer.Stop()
-		}
+		en.curTimer.Stop() // inert for Forever requests (zero Timer)
 		en.curGate.Open()
 	}
 }

@@ -1,7 +1,7 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine owns a virtual clock and an event queue ordered by
-// (time, insertion sequence). Model code runs either as plain event
+// (time, seq). Model code runs either as plain event
 // callbacks or as processes (Proc): goroutines that execute in strict
 // handoff with the engine, so exactly one goroutine is ever runnable and
 // every run of the same model is bit-for-bit identical.
@@ -47,41 +47,48 @@ func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback, stored in the engine's event slab and
+// addressed by slot index. Slots are recycled through a free list; gen
+// distinguishes incarnations so a stale Timer handle can never cancel a
+// later event that happens to reuse the same slot.
 type event struct {
 	t       Time
 	seq     uint64
 	fn      func()
-	stopped *bool // non-nil for cancellable timers
-	index   int
+	gen     uint32
+	stopped bool  // cancelled by Timer.Stop; skipped (and recycled) at pop
+	next    int32 // free-list link (and wheel-bucket link), -1 terminated
 }
 
-type eventHeap []*event
+// noSlot is the nil value for slab indices.
+const noSlot int32 = -1
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// legacyHeap is the original event queue: a binary heap (container/heap)
+// ordered by (time, seq), now over slab indices instead of boxed event
+// pointers. It is retained behind EventQueueKind for differential
+// determinism testing against the timing-wheel queue — any queue swap
+// must reproduce its dispatch order bit-for-bit.
+type legacyHeap struct {
+	e     *Engine
+	slots []int32
+}
+
+func (h *legacyHeap) Len() int { return len(h.slots) }
+func (h *legacyHeap) Less(i, j int) bool {
+	a, b := &h.e.slab[h.slots[i]], &h.e.slab[h.slots[j]]
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
+func (h *legacyHeap) Swap(i, j int) { h.slots[i], h.slots[j] = h.slots[j], h.slots[i] }
+func (h *legacyHeap) Push(x any)    { h.slots = append(h.slots, x.(int32)) }
+func (h *legacyHeap) Pop() any {
+	old := h.slots
 	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	idx := old[n-1]
+	h.slots = old[:n-1]
+	return idx
 }
 
 // Engine is a discrete-event simulator.
@@ -93,9 +100,17 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
 	pending int // live (uncancelled, unfired) events, kept for O(1) Pending
-	procs   int // live (unfinished) procs, for leak detection
+
+	// slab is the pooled event storage: Schedule allocates slots from the
+	// free list and dispatch recycles them, so steady-state scheduling
+	// does not allocate.
+	slab []event
+	free int32
+
+	lq *legacyHeap
+
+	procs int // live (unfinished) procs, for leak detection
 
 	// stepping guards against re-entrant Run calls.
 	running bool
@@ -108,24 +123,55 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero and no events.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{free: noSlot}
+	e.lq = &legacyHeap{e: e}
+	return e
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// alloc takes a slot from the free list (or grows the slab) and fills it.
+// It returns the slot index; the slot's gen is preserved across reuse.
+func (e *Engine) alloc(t Time, fn func()) int32 {
+	var idx int32
+	if e.free != noSlot {
+		idx = e.free
+		e.free = e.slab[idx].next
+	} else {
+		e.slab = append(e.slab, event{})
+		idx = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[idx]
+	ev.t = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.stopped = false
+	ev.next = noSlot
+	e.seq++
+	return idx
+}
+
+// recycle returns a slot to the free list, bumping its generation so any
+// outstanding Timer handle to the old incarnation goes stale.
+func (e *Engine) recycle(idx int32) {
+	ev := &e.slab[idx]
+	ev.gen++
+	ev.fn = nil // release the closure for GC
+	ev.next = e.free
+	e.free = idx
+}
+
 // Schedule runs fn at absolute time t (>= Now). It returns a Timer that
 // can cancel the callback before it fires.
-func (e *Engine) Schedule(t Time, fn func()) *Timer {
+func (e *Engine) Schedule(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, e.now))
 	}
-	stopped := new(bool)
-	ev := &event{t: t, seq: e.seq, fn: fn, stopped: stopped}
-	e.seq++
+	idx := e.alloc(t, fn)
 	e.pending++
-	heap.Push(&e.events, ev)
-	return &Timer{engine: e, stopped: stopped, when: t}
+	heap.Push(e.lq, idx)
+	return Timer{engine: e, slot: idx, gen: e.slab[idx].gen, when: t}
 }
 
 // After runs fn after duration d. Zero and negative durations both
@@ -135,53 +181,92 @@ func (e *Engine) Schedule(t Time, fn func()) *Timer {
 // same-tick After from inside a running event always lands at the back
 // of the current tick. Model code may rely on this FIFO-within-tick
 // ordering (TestZeroAfterRunsAfterQueuedSameTimeEvents pins it).
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
-// Timer is a handle to a scheduled callback.
+// Timer is a handle to a scheduled callback. It is a small value: the
+// engine, the event's slab slot, and the slot generation the handle was
+// issued against. The zero Timer is valid and inert (Stop reports false).
 type Timer struct {
-	engine  *Engine
-	stopped *bool
-	when    Time
+	engine *Engine
+	slot   int32
+	gen    uint32
+	when   Time
 }
 
 // Stop cancels the timer. It reports whether the callback had not yet
-// fired (and was therefore prevented from running).
-func (t *Timer) Stop() bool {
-	if *t.stopped {
+// fired (and was therefore prevented from running). A Timer whose event
+// has fired — or whose engine has been Reset — holds a stale generation
+// and is a harmless no-op.
+func (t Timer) Stop() bool {
+	e := t.engine
+	if e == nil {
 		return false
 	}
-	*t.stopped = true
-	t.engine.pending--
+	ev := &e.slab[t.slot]
+	if ev.gen != t.gen || ev.stopped {
+		return false
+	}
+	ev.stopped = true
+	ev.fn = nil // release the closure for GC
+	e.pending--
 	return true
 }
 
 // When returns the virtual time at which the timer fires.
-func (t *Timer) When() Time { return t.when }
+func (t Timer) When() Time { return t.when }
+
+// pop removes and returns the slot of the earliest (time, seq) event, or
+// noSlot if the queue is empty. Cancelled events are skipped and recycled.
+func (e *Engine) pop() int32 {
+	for len(e.lq.slots) > 0 {
+		idx := heap.Pop(e.lq).(int32)
+		if e.slab[idx].stopped {
+			e.recycle(idx)
+			continue
+		}
+		return idx
+	}
+	return noSlot
+}
+
+// peek returns the time of the earliest pending event. ok is false if the
+// queue is empty.
+func (e *Engine) peek() (t Time, ok bool) {
+	for len(e.lq.slots) > 0 {
+		idx := e.lq.slots[0]
+		if e.slab[idx].stopped {
+			heap.Pop(e.lq)
+			e.recycle(idx)
+			continue
+		}
+		return e.slab[idx].t, true
+	}
+	return 0, false
+}
 
 // Step executes the single next event. It reports false if the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if *ev.stopped {
-			continue
-		}
-		if ev.t < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.t
-		e.pending--
-		*ev.stopped = true // consumed; Timer.Stop now reports false
-		ev.fn()
-		e.rethrow()
-		return true
+	idx := e.pop()
+	if idx == noSlot {
+		return false
 	}
-	return false
+	ev := &e.slab[idx]
+	if ev.t < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.t
+	fn := ev.fn
+	e.pending--
+	e.recycle(idx) // consumed; Timer.Stop now reports false
+	fn()
+	e.rethrow()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -196,7 +281,11 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.enter()
 	defer e.leave()
-	for len(e.events) > 0 && e.events[0].t <= t {
+	for {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -210,9 +299,11 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 // Reset returns the engine to its initial state: clock at zero, no
 // events. It lets a harness reuse one engine allocation across scenarios
 // instead of constructing a fresh engine per run; any outstanding Timers
-// from the previous run are dropped. Reset refuses to run while procs
-// are live — their goroutines are parked awaiting engine wakeups and
-// would be stranded forever — so models must finish (or Kill) every
+// from the previous run are dropped (their handles go stale: every slab
+// slot's generation is bumped, so Stop on an old Timer reports false and
+// can never cancel an event of the new run). Reset refuses to run while
+// procs are live — their goroutines are parked awaiting engine wakeups
+// and would be stranded forever — so models must finish (or Kill) every
 // proc before the engine can be reused.
 func (e *Engine) Reset() {
 	if e.running {
@@ -221,11 +312,18 @@ func (e *Engine) Reset() {
 	if e.procs != 0 {
 		panic(fmt.Sprintf("sim: Reset with %d live procs", e.procs))
 	}
-	for i, ev := range e.events {
-		*ev.stopped = true
-		e.events[i] = nil // release the event's closure for GC
+	// Rebuild the free list over the whole slab, invalidating every
+	// outstanding handle generation, but keep the slab capacity: an engine
+	// reused across scenarios reaches steady state with zero allocations.
+	e.lq.slots = e.lq.slots[:0]
+	e.free = noSlot
+	for i := len(e.slab) - 1; i >= 0; i-- {
+		ev := &e.slab[i]
+		ev.gen++
+		ev.fn = nil
+		ev.next = e.free
+		e.free = int32(i)
 	}
-	e.events = e.events[:0]
 	e.pending = 0
 	e.now = 0
 	e.seq = 0

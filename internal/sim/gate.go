@@ -40,14 +40,15 @@ func (g *Gate) Signal() {
 		return
 	}
 	p := g.waiters[0]
-	g.waiters = g.waiters[1:]
+	copy(g.waiters, g.waiters[1:]) // shift in place: keep capacity
+	g.waiters = g.waiters[:len(g.waiters)-1]
 	g.release(p)
 }
 
 // Broadcast wakes all current waiters.
 func (g *Gate) Broadcast() {
 	ws := g.waiters
-	g.waiters = nil
+	g.waiters = g.waiters[:0] // keep capacity: gates are reused hot
 	for _, p := range ws {
 		g.release(p)
 	}
@@ -58,7 +59,7 @@ func (g *Gate) Waiters() int { return len(g.waiters) }
 
 func (g *Gate) release(p *Proc) {
 	p.gate = nil
-	g.engine.Schedule(g.engine.now, func() { p.activate() })
+	g.engine.Schedule(g.engine.now, p.activateFn)
 }
 
 func (g *Gate) wait(p *Proc) {

@@ -31,8 +31,13 @@ type Proc struct {
 	yield  chan struct{}
 
 	gate     *Gate // gate currently blocked on, if any
-	wakeup   *Timer
+	wakeup   Timer
 	finished func(*Proc)
+
+	// activateFn is the pre-bound activation closure, allocated once at
+	// Spawn so that every wakeup (Sleep, Gate release, Kill) schedules it
+	// without allocating a fresh closure on the hot path.
+	activateFn func()
 }
 
 // Spawn starts a new process executing body. The body begins running at
@@ -46,9 +51,10 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan bool),
 		yield:  make(chan struct{}),
 	}
+	p.activateFn = func() { p.activate() }
 	e.procs++
 	go p.run(body)
-	e.Schedule(e.now, func() { p.activate() })
+	e.Schedule(e.now, p.activateFn)
 	return p
 }
 
@@ -126,9 +132,9 @@ func (p *Proc) Sleep(d Duration) {
 	if d <= 0 {
 		return
 	}
-	p.wakeup = p.engine.After(d, func() { p.activate() })
+	p.wakeup = p.engine.After(d, p.activateFn)
 	p.block()
-	p.wakeup = nil
+	p.wakeup = Timer{}
 }
 
 // SleepUntil blocks the process until absolute time t.
@@ -181,15 +187,13 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.killed = true
-	if p.wakeup != nil {
-		p.wakeup.Stop()
-		p.wakeup = nil
-	}
+	p.wakeup.Stop() // inert if no sleep is outstanding (zero Timer)
+	p.wakeup = Timer{}
 	if p.gate != nil {
 		p.gate.remove(p)
 		p.gate = nil
 	}
 	if p.state == procBlocked || p.state == procReady {
-		p.engine.Schedule(p.engine.now, func() { p.activate() })
+		p.engine.Schedule(p.engine.now, p.activateFn)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -63,6 +64,57 @@ type event struct {
 // noSlot is the nil value for slab indices.
 const noSlot int32 = -1
 
+// EventQueueKind selects the engine's event-queue implementation.
+type EventQueueKind int
+
+const (
+	// WheelQueue is the production queue: a hierarchical timing wheel for
+	// far events feeding a 4-ary index-free heap that orders the near
+	// horizon (see DESIGN.md §11).
+	WheelQueue EventQueueKind = iota
+	// LegacyHeapQueue is the original container/heap binary heap, retained
+	// so differential tests can pin that both queues dispatch events in
+	// bit-for-bit identical (time, seq) order.
+	LegacyHeapQueue
+)
+
+// DefaultEventQueue is the queue kind NewEngine uses. It is a package
+// variable only so determinism tests can run whole experiments on the
+// legacy heap; production code must not change it.
+var DefaultEventQueue = WheelQueue
+
+// Timing-wheel geometry. The 4-ary heap orders everything within
+// nearSpan of the wheel base exactly by (time, seq); events farther out
+// sit unordered in wheel buckets — level lv spans slots of width
+// 1<<(nearBits+wheelBits*lv) ns — and are dumped or cascaded toward the
+// heap as the base advances. An event is eligible for level lv only if
+// it is within 63 slot-widths of the base, which guarantees a slot
+// index (taken from the absolute time bits) can never collide with a
+// slot one wheel revolution away. Events beyond the last level (~19h)
+// overflow into the heap, which stays correct at any horizon.
+const (
+	wheelLevels = 5
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	nearBits    = 16
+	nearSpan    = Time(1) << nearBits
+)
+
+// hnode is one heap entry: the ordering key (time, seq) inlined next to
+// the slab slot so sift compares never touch the slab.
+type hnode struct {
+	t    Time
+	seq  uint64
+	slot int32
+}
+
+func hless(a, b hnode) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
 // legacyHeap is the original event queue: a binary heap (container/heap)
 // ordered by (time, seq), now over slab indices instead of boxed event
 // pointers. It is retained behind EventQueueKind for differential
@@ -108,7 +160,21 @@ type Engine struct {
 	slab []event
 	free int32
 
-	lq *legacyHeap
+	kind EventQueueKind
+
+	// Wheel-queue state (kind == WheelQueue). h4 is the 4-ary heap that
+	// totally orders the near horizon; the wheel holds far events in
+	// unordered slot chains linked through event.next. occupied has one
+	// bit per slot so the next occupied slot is a TrailingZeros away.
+	// base is the wheel origin: every event with t < base+nearSpan lives
+	// in the heap, and base only ever moves forward, never past an
+	// occupied slot's start time.
+	h4       []hnode
+	buckets  [wheelLevels][wheelSlots]int32
+	occupied [wheelLevels]uint64
+	base     Time
+
+	lq *legacyHeap // kind == LegacyHeapQueue only
 
 	procs int // live (unfinished) procs, for leak detection
 
@@ -121,10 +187,18 @@ type Engine struct {
 	hasPanic bool
 }
 
-// NewEngine returns an engine with the clock at zero and no events.
-func NewEngine() *Engine {
-	e := &Engine{free: noSlot}
-	e.lq = &legacyHeap{e: e}
+// NewEngine returns an engine with the clock at zero and no events,
+// using the DefaultEventQueue implementation.
+func NewEngine() *Engine { return NewEngineWithQueue(DefaultEventQueue) }
+
+// NewEngineWithQueue returns an engine using the given event-queue
+// implementation. Both kinds dispatch events in identical (time, seq)
+// order; only determinism tests should ask for LegacyHeapQueue.
+func NewEngineWithQueue(kind EventQueueKind) *Engine {
+	e := &Engine{free: noSlot, kind: kind}
+	if kind == LegacyHeapQueue {
+		e.lq = &legacyHeap{e: e}
+	}
 	return e
 }
 
@@ -170,7 +244,7 @@ func (e *Engine) Schedule(t Time, fn func()) Timer {
 	}
 	idx := e.alloc(t, fn)
 	e.pending++
-	heap.Push(e.lq, idx)
+	e.insert(idx, t)
 	return Timer{engine: e, slot: idx, gen: e.slab[idx].gen, when: t}
 }
 
@@ -220,33 +294,209 @@ func (t Timer) Stop() bool {
 // When returns the virtual time at which the timer fires.
 func (t Timer) When() Time { return t.when }
 
+// insert places an allocated slot into the event queue.
+//
+// Wheel mode: events within nearSpan of the base go straight into the
+// 4-ary heap (as do events in the past region t < base, which exists
+// because the base can run ahead of the clock after a dump). Far events
+// go to the first wheel level whose coarse slot distance from the base
+// is at most 63 — at that level the distance is also at least 1 (a
+// closer level would have fit otherwise), so a slot chain is always
+// strictly ahead of the base's own slot and a cascade re-routing it can
+// never loop. Events beyond the top level (~19h) overflow into the heap.
+func (e *Engine) insert(idx int32, t Time) {
+	if e.kind == LegacyHeapQueue {
+		heap.Push(e.lq, idx)
+		return
+	}
+	if e.occupied[0]|e.occupied[1]|e.occupied[2]|e.occupied[3]|e.occupied[4] == 0 {
+		// Wheel empty: nothing pins the base, so drag it up to the clock
+		// to keep near-future events on the heap fast path.
+		if nb := e.now &^ (nearSpan - 1); nb > e.base {
+			e.base = nb
+		}
+	}
+	if t-e.base < nearSpan { // signed: also catches t < base
+		e.hpush(hnode{t, e.slab[idx].seq, idx})
+		return
+	}
+	tc, bc := uint64(t), uint64(e.base)
+	for lv := 0; lv < wheelLevels; lv++ {
+		shift := uint(nearBits + wheelBits*lv)
+		if tc>>shift-bc>>shift <= wheelSlots-1 {
+			slot := (tc >> shift) & (wheelSlots - 1)
+			ev := &e.slab[idx]
+			if e.occupied[lv]&(1<<slot) != 0 {
+				ev.next = e.buckets[lv][slot]
+			} else {
+				ev.next = noSlot
+				e.occupied[lv] |= 1 << slot
+			}
+			e.buckets[lv][slot] = idx
+			return
+		}
+	}
+	e.hpush(hnode{t, e.slab[idx].seq, idx}) // beyond the top level
+}
+
+// hpush pushes onto the 4-ary heap (sift-up with a hole, no swaps).
+func (e *Engine) hpush(n hnode) {
+	h := append(e.h4, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !hless(n, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+	e.h4 = h
+}
+
+// hpop removes and returns the heap minimum (sift-down with a hole).
+func (e *Engine) hpop() hnode {
+	h := e.h4
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	e.h4 = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if hless(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !hless(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// wheelNext locates the occupied wheel slot with the earliest start
+// time. Ties prefer the higher level: a coarse slot sharing its start
+// with a finer one must cascade first, or dumping the finer slot would
+// advance the base past the coarse slot's start and corrupt the wheel's
+// circular-distance invariant.
+func (e *Engine) wheelNext() (start Time, lv int, slot uint64) {
+	bestLv := -1
+	for l := 0; l < wheelLevels; l++ {
+		occ := e.occupied[l]
+		if occ == 0 {
+			continue
+		}
+		shift := uint(nearBits + wheelBits*l)
+		pos := int(e.base>>shift) & (wheelSlots - 1)
+		d := Time(bits.TrailingZeros64(bits.RotateLeft64(occ, -pos)))
+		st := (e.base>>shift + d) << shift
+		if bestLv < 0 || st <= start {
+			bestLv, start = l, st
+			slot = uint64(e.base>>shift+d) & (wheelSlots - 1)
+		}
+	}
+	return start, bestLv, slot
+}
+
+// advanceWheel consumes one wheel slot. A level-0 slot is dumped: the
+// base advances past it and its whole chain joins the heap. A higher
+// slot cascades: the base advances to its start and its chain is
+// re-routed, landing in strictly lower levels or the heap.
+func (e *Engine) advanceWheel(start Time, lv int, slot uint64) {
+	head := e.buckets[lv][slot]
+	e.occupied[lv] &^= 1 << slot
+	if lv == 0 {
+		if nb := start + nearSpan; nb > e.base {
+			e.base = nb
+		}
+		for head != noSlot {
+			ev := &e.slab[head]
+			next := ev.next
+			ev.next = noSlot
+			e.hpush(hnode{ev.t, ev.seq, head})
+			head = next
+		}
+		return
+	}
+	if start > e.base {
+		e.base = start
+	}
+	for head != noSlot {
+		next := e.slab[head].next
+		e.slab[head].next = noSlot
+		e.insert(head, e.slab[head].t)
+		head = next
+	}
+}
+
+// ready brings the global-minimum pending event to the queue front,
+// skipping and recycling cancelled events. In wheel mode that means
+// advancing the wheel until the minimum provably sits at the heap top:
+// the heap is authoritative only once its top is earlier than the start
+// of every occupied wheel slot (a slot's start lower-bounds everything
+// chained in it). Ties advance the wheel so (time, seq) order is decided
+// in the heap. ready reports false when no live events remain.
+func (e *Engine) ready() bool {
+	if e.kind == LegacyHeapQueue {
+		for len(e.lq.slots) > 0 && e.slab[e.lq.slots[0]].stopped {
+			e.recycle(heap.Pop(e.lq).(int32))
+		}
+		return len(e.lq.slots) > 0
+	}
+	for {
+		for len(e.h4) > 0 && e.slab[e.h4[0].slot].stopped {
+			e.recycle(e.hpop().slot)
+		}
+		if e.occupied[0]|e.occupied[1]|e.occupied[2]|e.occupied[3]|e.occupied[4] == 0 {
+			return len(e.h4) > 0
+		}
+		start, lv, slot := e.wheelNext()
+		if len(e.h4) > 0 && e.h4[0].t < start {
+			return true
+		}
+		e.advanceWheel(start, lv, slot)
+	}
+}
+
 // pop removes and returns the slot of the earliest (time, seq) event, or
 // noSlot if the queue is empty. Cancelled events are skipped and recycled.
 func (e *Engine) pop() int32 {
-	for len(e.lq.slots) > 0 {
-		idx := heap.Pop(e.lq).(int32)
-		if e.slab[idx].stopped {
-			e.recycle(idx)
-			continue
-		}
-		return idx
+	if !e.ready() {
+		return noSlot
 	}
-	return noSlot
+	if e.kind == LegacyHeapQueue {
+		return heap.Pop(e.lq).(int32)
+	}
+	return e.hpop().slot
 }
 
 // peek returns the time of the earliest pending event. ok is false if the
 // queue is empty.
 func (e *Engine) peek() (t Time, ok bool) {
-	for len(e.lq.slots) > 0 {
-		idx := e.lq.slots[0]
-		if e.slab[idx].stopped {
-			heap.Pop(e.lq)
-			e.recycle(idx)
-			continue
-		}
-		return e.slab[idx].t, true
+	if !e.ready() {
+		return 0, false
 	}
-	return 0, false
+	if e.kind == LegacyHeapQueue {
+		return e.slab[e.lq.slots[0]].t, true
+	}
+	return e.h4[0].t, true
 }
 
 // Step executes the single next event. It reports false if the queue is
@@ -315,7 +565,12 @@ func (e *Engine) Reset() {
 	// Rebuild the free list over the whole slab, invalidating every
 	// outstanding handle generation, but keep the slab capacity: an engine
 	// reused across scenarios reaches steady state with zero allocations.
-	e.lq.slots = e.lq.slots[:0]
+	if e.lq != nil {
+		e.lq.slots = e.lq.slots[:0]
+	}
+	e.h4 = e.h4[:0]
+	e.occupied = [wheelLevels]uint64{}
+	e.base = 0
 	e.free = noSlot
 	for i := len(e.slab) - 1; i >= 0; i-- {
 		ev := &e.slab[i]

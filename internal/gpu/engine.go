@@ -8,6 +8,22 @@ import "repro/internal/sim"
 // contexts. The DMA engine runs transfers concurrently with the main
 // engine, which is how direct-access concurrency efficiency can exceed
 // 1.0 in the paper's Figure 7.
+//
+// The engine is an event-driven state machine, not a process: it is
+// always in exactly one of four states — idle (kick schedules a
+// dispatch), switching (a context-switch timer is in flight), executing
+// (a completion timer is in flight, current != nil), or completing (the
+// completion event for the current instant is already scheduled). The
+// hot path therefore costs two events per request (completion timer +
+// completion processing) and no goroutine handoffs.
+//
+// Completion is deliberately two events, mirroring the retired process
+// version (completion timer opened a gate, whose broadcast scheduled the
+// engine's wakeup at the same instant): bookkeeping must stay in the
+// second event so that model code already queued at the completion
+// instant — kernel polls reading RefCount, sampling watchers — still
+// observes pre-completion state, and so that an abort landing between
+// the two events still converts the request into an aborted one.
 type engine struct {
 	dev      *Device
 	name     string
@@ -15,23 +31,31 @@ type engine struct {
 
 	channels []*Channel
 	rr       int
-	work     *sim.Gate
 
-	current  *Request
-	curGate  *sim.Gate
-	curTimer sim.Timer
-	lastCtx  *Context
+	idle            bool     // parked; the next kick schedules a dispatch
+	switching       *Channel // context-switch target while its timer is in flight
+	current         *Request
+	completePending bool // completion event scheduled for the current instant
+	curTimer        sim.Timer
+	lastCtx         *Context
 
 	busy      sim.Duration
 	busyStart sim.Time
 
-	proc *sim.Proc
+	// Pre-bound state-transition closures, allocated once here so the
+	// per-request path schedules them without allocating.
+	dispatchFn func()
+	timerFn    func()
+	completeFn func()
+	switchFn   func()
 }
 
 func newEngine(dev *Device, name string, mainUnit bool) *engine {
-	en := &engine{dev: dev, name: name, mainUnit: mainUnit}
-	en.work = dev.eng.NewGate(name + "-work")
-	en.proc = dev.eng.Spawn(name, en.run)
+	en := &engine{dev: dev, name: name, mainUnit: mainUnit, idle: true}
+	en.dispatchFn = en.dispatch
+	en.timerFn = en.onTimer
+	en.completeFn = en.doComplete
+	en.switchFn = en.switchDone
 	return en
 }
 
@@ -51,29 +75,48 @@ func (en *engine) removeChannel(ch *Channel) {
 	}
 }
 
-// kick wakes the engine after new work arrives.
-func (en *engine) kick() { en.work.Broadcast() }
-
-func (en *engine) run(p *sim.Proc) {
-	for {
-		ch := en.pickNext()
-		if ch == nil {
-			p.Wait(en.work)
-			continue
-		}
-		if en.mainUnit && ch.Ctx != en.lastCtx {
-			p.Sleep(en.dev.cost.ContextSwitch)
-			en.lastCtx = ch.Ctx
-			// The world may have changed during the switch (context
-			// killed, ring drained); start over.
-			if ch.Ctx.dead || len(ch.ring) == 0 {
-				continue
-			}
-		}
-		req := ch.ring[0]
-		ch.ring = ch.ring[1:]
-		en.execute(p, req)
+// kick wakes the engine after new work arrives. Only an idle engine
+// reacts; in every other state the current timer or pending completion
+// event re-enters dispatch on its own.
+func (en *engine) kick() {
+	if !en.idle {
+		return
 	}
+	en.idle = false
+	en.dev.eng.Schedule(en.dev.eng.Now(), en.dispatchFn)
+}
+
+// dispatch picks the next channel and either starts its head request,
+// begins a context switch toward it, or parks the engine.
+func (en *engine) dispatch() {
+	ch := en.pickNext()
+	if ch == nil {
+		en.idle = true
+		return
+	}
+	if en.mainUnit && ch.Ctx != en.lastCtx {
+		en.switching = ch
+		en.dev.eng.After(en.dev.cost.ContextSwitch, en.switchFn)
+		return
+	}
+	req := ch.ring[0]
+	ch.ring = ch.ring[1:]
+	en.start(req)
+}
+
+// switchDone completes a context switch. The world may have changed
+// during the switch (context killed, ring drained); re-dispatch then.
+func (en *engine) switchDone() {
+	ch := en.switching
+	en.switching = nil
+	en.lastCtx = ch.Ctx
+	if ch.Ctx.dead || len(ch.ring) == 0 {
+		en.dispatch()
+		return
+	}
+	req := ch.ring[0]
+	ch.ring = ch.ring[1:]
+	en.start(req)
 }
 
 // ready reports whether a channel has runnable work.
@@ -127,46 +170,62 @@ func (en *engine) pickNext() *Channel {
 	return nil
 }
 
-// execute runs one request to completion (or abort). The nominal
-// request size is scaled by the device's class speed: a consumer-class
-// card takes longer over the same request than the reference K20.
-// Requests of size Forever never finish on their own: the engine
-// occupies the device until the owning context is killed.
-func (en *engine) execute(p *sim.Proc, r *Request) {
-	r.Started = p.Now()
+// start begins executing one request. The nominal request size is scaled
+// by the device's class speed: a consumer-class card takes longer over
+// the same request than the reference K20. Requests of size Forever
+// never finish on their own: the engine occupies the device until the
+// owning context is killed.
+func (en *engine) start(r *Request) {
+	r.Started = en.dev.eng.Now()
 	en.current = r
 	en.busyStart = r.Started
-	g := en.dev.eng.NewGate("exec-done")
 	if r.Size < Forever {
-		en.curTimer = en.dev.eng.After(en.dev.scaled(r.Size), g.Open)
+		en.curTimer = en.dev.eng.After(en.dev.scaled(r.Size), en.timerFn)
 	} else {
 		en.curTimer = sim.Timer{}
 	}
-	en.curGate = g
-	p.Wait(g)
+}
 
-	end := p.Now()
+// onTimer fires when the current request's execution time elapses. It
+// only schedules the completion event at the same instant — see the
+// two-event completion note on the engine type.
+func (en *engine) onTimer() {
+	en.completePending = true
+	en.dev.eng.Schedule(en.dev.eng.Now(), en.completeFn)
+}
+
+// doComplete retires the current request (completed or aborted) and
+// dispatches the next one.
+func (en *engine) doComplete() {
+	en.completePending = false
+	r := en.current
+	end := en.dev.eng.Now()
 	en.busy += end.Sub(r.Started)
 	r.ch.Ctx.BusyTime += end.Sub(r.Started)
 	en.current = nil
-	en.curGate = nil
 	en.curTimer = sim.Timer{}
 	if r.Aborted {
 		r.finish()
-		return
+	} else {
+		r.Completed = end
+		r.ch.RefCount = r.Ref
+		r.ch.Completions++
+		r.finish()
 	}
-	r.Completed = end
-	r.ch.RefCount = r.Ref
-	r.ch.Completions++
-	r.finish()
+	en.dispatch()
 }
 
-// abortIfContext aborts the in-flight request if it belongs to ctx.
+// abortIfContext aborts the in-flight request if it belongs to ctx. If
+// the completion event is already queued for this instant, the abort
+// flag alone is enough: doComplete re-checks it.
 func (en *engine) abortIfContext(ctx *Context) {
 	if en.current != nil && en.current.ch.Ctx == ctx {
 		en.current.Aborted = true
 		en.curTimer.Stop() // inert for Forever requests (zero Timer)
-		en.curGate.Open()
+		if !en.completePending {
+			en.completePending = true
+			en.dev.eng.Schedule(en.dev.eng.Now(), en.completeFn)
+		}
 	}
 }
 

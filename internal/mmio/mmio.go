@@ -43,6 +43,12 @@ type Page struct {
 	handler FaultHandler
 	sink    Sink
 
+	// Deferred-store state for StoreAsync: values whose DirectWrite
+	// propagation delay has not yet elapsed, delivered FIFO by deliverFn
+	// (bound once at construction so the fast path does not allocate).
+	pending   []uint64
+	deliverFn func()
+
 	// Counters for tests and experiments.
 	DirectWrites int64
 	Faults       int64
@@ -50,7 +56,9 @@ type Page struct {
 
 // NewPage returns a page that is initially present (direct access).
 func NewPage(name string, costs cost.Model, sink Sink) *Page {
-	return &Page{name: name, costs: costs, present: true, sink: sink}
+	pg := &Page{name: name, costs: costs, present: true, sink: sink}
+	pg.deliverFn = pg.deliver
+	return pg
 }
 
 // Name returns the page's diagnostic name.
@@ -84,4 +92,35 @@ func (pg *Page) Store(p *sim.Proc, value uint64) {
 	// device. Protection state afterwards is whatever the handler chose
 	// (NEON re-protects by default by leaving present=false).
 	pg.sink(value)
+}
+
+// StoreAsync performs a direct store without blocking the calling
+// process: the value reaches the sink after the same DirectWrite
+// propagation delay as Store, but as an engine event rather than a
+// process wakeup, saving the goroutine handoff. It reports false — and
+// does nothing — when the page is protected: faulting stores must run
+// the handler in process context, so the caller falls back to Store.
+//
+// Only callers that do not act between the store and the next blocking
+// point may use it (the store's side effects become visible at
+// now+DirectWrite, after the caller has moved on); a submit-and-wait
+// path qualifies.
+func (pg *Page) StoreAsync(e *sim.Engine, value uint64) bool {
+	if !pg.present {
+		return false
+	}
+	pg.DirectWrites++
+	pg.pending = append(pg.pending, value)
+	e.After(pg.costs.DirectWrite, pg.deliverFn)
+	return true
+}
+
+// deliver releases the oldest deferred store to the sink. Deliveries are
+// FIFO: every deferred store schedules one deliver event a constant
+// delay after issue, so event order matches issue order.
+func (pg *Page) deliver() {
+	v := pg.pending[0]
+	n := copy(pg.pending, pg.pending[1:])
+	pg.pending = pg.pending[:n]
+	pg.sink(v)
 }

@@ -98,9 +98,29 @@ func (c *Client) SubmitDetached(p *sim.Proc, kind gpu.Kind, size sim.Duration) *
 // SubmitSync submits a request and blocks until it completes, like a
 // blocking OpenCL kernel launch. Completion is detected by user-space
 // polling of the reference counter (no kernel involvement).
+//
+// Because the caller does nothing between the doorbell store and the
+// completion wait, the store uses the page's asynchronous fast path
+// when the channel is direct-mapped: the doorbell still reaches the
+// device at now+DirectWrite, but without a process wakeup in between.
+// An engaged channel (or the trap-per-request mode) falls back to the
+// blocking store, which may fault and delay the process arbitrarily.
+// Sync requests never enter the outstanding set: the request is retired
+// before returning, so there is nothing for Fence to see.
 func (c *Client) SubmitSync(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
-	r := c.Submit(p, kind, size)
-	c.WaitOne(p, r)
+	ch := c.channels[kind]
+	r := ch.Stage(size, kind)
+	if c.TrapPerRequest {
+		cost := c.kernel.Costs().SyscallTrap
+		if c.TrapDriverWork {
+			cost += c.kernel.Costs().SyscallDriverWork
+		}
+		p.Sleep(cost)
+		ch.Reg.Store(p, r.Ref)
+	} else if !ch.Reg.StoreAsync(p.Engine(), r.Ref) {
+		ch.Reg.Store(p, r.Ref)
+	}
+	p.Wait(r.DoneGate())
 	return r
 }
 

@@ -172,6 +172,7 @@ type Engine struct {
 	h4       []hnode
 	buckets  [wheelLevels][wheelSlots]int32
 	occupied [wheelLevels]uint64
+	occSum   uint8 // bit per level with any occupied slot; 0 = wheel empty
 	base     Time
 
 	lq *legacyHeap // kind == LegacyHeapQueue only
@@ -309,7 +310,7 @@ func (e *Engine) insert(idx int32, t Time) {
 		heap.Push(e.lq, idx)
 		return
 	}
-	if e.occupied[0]|e.occupied[1]|e.occupied[2]|e.occupied[3]|e.occupied[4] == 0 {
+	if e.occSum == 0 {
 		// Wheel empty: nothing pins the base, so drag it up to the clock
 		// to keep near-future events on the heap fast path.
 		if nb := e.now &^ (nearSpan - 1); nb > e.base {
@@ -331,6 +332,7 @@ func (e *Engine) insert(idx int32, t Time) {
 			} else {
 				ev.next = noSlot
 				e.occupied[lv] |= 1 << slot
+				e.occSum |= 1 << lv
 			}
 			e.buckets[lv][slot] = idx
 			return
@@ -398,11 +400,9 @@ func (e *Engine) hpop() hnode {
 // circular-distance invariant.
 func (e *Engine) wheelNext() (start Time, lv int, slot uint64) {
 	bestLv := -1
-	for l := 0; l < wheelLevels; l++ {
+	for sum := e.occSum; sum != 0; sum &= sum - 1 {
+		l := bits.TrailingZeros8(sum)
 		occ := e.occupied[l]
-		if occ == 0 {
-			continue
-		}
 		shift := uint(nearBits + wheelBits*l)
 		pos := int(e.base>>shift) & (wheelSlots - 1)
 		d := Time(bits.TrailingZeros64(bits.RotateLeft64(occ, -pos)))
@@ -422,6 +422,9 @@ func (e *Engine) wheelNext() (start Time, lv int, slot uint64) {
 func (e *Engine) advanceWheel(start Time, lv int, slot uint64) {
 	head := e.buckets[lv][slot]
 	e.occupied[lv] &^= 1 << slot
+	if e.occupied[lv] == 0 {
+		e.occSum &^= 1 << lv
+	}
 	if lv == 0 {
 		if nb := start + nearSpan; nb > e.base {
 			e.base = nb
@@ -464,7 +467,7 @@ func (e *Engine) ready() bool {
 		for len(e.h4) > 0 && e.slab[e.h4[0].slot].stopped {
 			e.recycle(e.hpop().slot)
 		}
-		if e.occupied[0]|e.occupied[1]|e.occupied[2]|e.occupied[3]|e.occupied[4] == 0 {
+		if e.occSum == 0 {
 			return len(e.h4) > 0
 		}
 		start, lv, slot := e.wheelNext()
@@ -506,6 +509,36 @@ func (e *Engine) Step() bool {
 	if idx == noSlot {
 		return false
 	}
+	e.dispatch(idx)
+	return true
+}
+
+// stepUpTo executes the single next event if its time is <= limit. It
+// reports false when the queue is empty or the next event lies beyond
+// the limit. Fusing the bound check into the pop keeps RunUntil at one
+// queue-front computation per event instead of a peek/pop pair.
+func (e *Engine) stepUpTo(limit Time) bool {
+	if !e.ready() {
+		return false
+	}
+	var idx int32
+	if e.kind == LegacyHeapQueue {
+		if e.slab[e.lq.slots[0]].t > limit {
+			return false
+		}
+		idx = heap.Pop(e.lq).(int32)
+	} else {
+		if e.h4[0].t > limit {
+			return false
+		}
+		idx = e.hpop().slot
+	}
+	e.dispatch(idx)
+	return true
+}
+
+// dispatch consumes one popped slot: advance the clock, recycle, run.
+func (e *Engine) dispatch(idx int32) {
 	ev := &e.slab[idx]
 	if ev.t < e.now {
 		panic("sim: time went backwards")
@@ -516,7 +549,6 @@ func (e *Engine) Step() bool {
 	e.recycle(idx) // consumed; Timer.Stop now reports false
 	fn()
 	e.rethrow()
-	return true
 }
 
 // Run executes events until the queue is empty.
@@ -531,12 +563,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.enter()
 	defer e.leave()
-	for {
-		next, ok := e.peek()
-		if !ok || next > t {
-			break
-		}
-		e.Step()
+	for e.stepUpTo(t) {
 	}
 	if e.now < t {
 		e.now = t
@@ -570,6 +597,7 @@ func (e *Engine) Reset() {
 	}
 	e.h4 = e.h4[:0]
 	e.occupied = [wheelLevels]uint64{}
+	e.occSum = 0
 	e.base = 0
 	e.free = noSlot
 	for i := len(e.slab) - 1; i >= 0; i-- {
@@ -584,6 +612,18 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.hasPanic = false
 	e.panicked = nil
+}
+
+// NextAfterNow reports whether the queue holds no event at the current
+// instant: every pending event, if any, is strictly later. Trampoline
+// callers (a timer that only schedules its real work at the back of the
+// current tick) use it to fold the deferred event into an inline call
+// when the tick is already empty — the two are indistinguishable, since
+// nothing can run between the trampoline and its deferred event, and
+// anything either schedules lands after both in (time, seq) order.
+func (e *Engine) NextAfterNow() bool {
+	t, ok := e.peek()
+	return !ok || t > e.now
 }
 
 // Pending returns the number of queued (uncancelled) events. It is O(1):

@@ -99,9 +99,7 @@ func (en *engine) dispatch() {
 		en.dev.eng.After(en.dev.cost.ContextSwitch, en.switchFn)
 		return
 	}
-	req := ch.ring[0]
-	ch.ring = ch.ring[1:]
-	en.start(req)
+	en.start(ch.popRing())
 }
 
 // switchDone completes a context switch. The world may have changed
@@ -110,17 +108,15 @@ func (en *engine) switchDone() {
 	ch := en.switching
 	en.switching = nil
 	en.lastCtx = ch.Ctx
-	if ch.Ctx.dead || len(ch.ring) == 0 {
+	if ch.Ctx.dead || len(ch.ring) == ch.head {
 		en.dispatch()
 		return
 	}
-	req := ch.ring[0]
-	ch.ring = ch.ring[1:]
-	en.start(req)
+	en.start(ch.popRing())
 }
 
 // ready reports whether a channel has runnable work.
-func ready(ch *Channel) bool { return !ch.Ctx.dead && len(ch.ring) > 0 }
+func ready(ch *Channel) bool { return !ch.Ctx.dead && len(ch.ring) > ch.head }
 
 // pickNext chooses the next channel to serve. Uniform round-robin, except
 // that with GraphicsPenalty > 1 a graphics channel competing with
@@ -188,9 +184,15 @@ func (en *engine) start(r *Request) {
 
 // onTimer fires when the current request's execution time elapses. It
 // only schedules the completion event at the same instant — see the
-// two-event completion note on the engine type.
+// two-event completion note on the engine type. When no other event is
+// queued for this instant the deferral is unobservable (nothing could
+// run in between), so completion processing runs inline instead.
 func (en *engine) onTimer() {
 	en.completePending = true
+	if en.dev.eng.NextAfterNow() {
+		en.doComplete()
+		return
+	}
 	en.dev.eng.Schedule(en.dev.eng.Now(), en.completeFn)
 }
 

@@ -115,6 +115,11 @@ type Request struct {
 	Completed sim.Time
 	Aborted   bool
 
+	// Stamp is scratch space for upper layers: the serving layer stores
+	// the open-loop arrival time it measures sojourn latency from. The
+	// device never reads or writes it.
+	Stamp sim.Time
+
 	// OnDone, if set, is invoked exactly once, in engine context, when
 	// the request completes or aborts — immediately before the done gate
 	// opens. It is the completion hook open-loop serving layers use to
@@ -123,8 +128,10 @@ type Request struct {
 	// size, any time up to its completion instant).
 	OnDone func(*Request)
 
-	ch   *Channel
-	done *sim.Gate
+	ch     *Channel
+	done   *sim.Gate
+	pinned bool // held beyond completion (sampling watcher); never recycled
+	pooled bool // currently on the device free list
 }
 
 // finish invokes the completion hook (once) and opens the done gate.
@@ -147,6 +154,25 @@ func (r *Request) DoneGate() *sim.Gate { return r.done }
 
 // IsDone reports whether the request has completed or been aborted.
 func (r *Request) IsDone() bool { return r.Completed != 0 || r.Aborted }
+
+// Pin marks the request as held beyond its completion instant — a
+// sampling watcher keeps the pointer and reads timing fields after the
+// done gate opens — so Release will never return it to the device pool.
+func (r *Request) Pin() { r.pinned = true }
+
+// Release returns the request to its device's free pool for reuse by a
+// later Stage. The caller asserts that no other component still holds
+// the pointer: completion has been fully processed (the done gate opened
+// and its waiters ran, or the submitter owned the only reference).
+// Pinned requests and double releases are no-ops.
+func (r *Request) Release() {
+	if r.pinned || r.pooled || r.ch == nil {
+		return
+	}
+	r.pooled = true
+	d := r.ch.Ctx.dev
+	d.reqFree = append(d.reqFree, r)
+}
 
 // Context is a GPU address space holding channels whose requests may be
 // causally related. It belongs to one task.
@@ -195,7 +221,8 @@ type Channel struct {
 	// Completions counts completed requests on this channel.
 	Completions int64
 
-	ring    []*Request // submitted, not yet executed
+	ring    []*Request // submitted, not yet executed: the live window is ring[head:]
+	head    int        // ring consumer index; popped entries are dead, compacted on submit
 	staged  []*Request // constructed, doorbell not yet rung
 	nextRef uint64
 	skips   int // graphics-penalty bookkeeping
@@ -204,11 +231,25 @@ type Channel struct {
 // Pending returns the number of submitted-but-unfinished requests,
 // including one currently executing.
 func (ch *Channel) Pending() int {
-	n := len(ch.ring)
+	n := len(ch.ring) - ch.head
 	if cur := ch.engine().current; cur != nil && cur.ch == ch {
 		n++
 	}
 	return n
+}
+
+// popRing removes and returns the head of the ring. The backing array is
+// reused once drained, so a steady-state submit/serve cycle does not
+// allocate.
+func (ch *Channel) popRing() *Request {
+	r := ch.ring[ch.head]
+	ch.ring[ch.head] = nil
+	ch.head++
+	if ch.head == len(ch.ring) {
+		ch.ring = ch.ring[:0]
+		ch.head = 0
+	}
+	return r
 }
 
 func (ch *Channel) engine() *engine {
@@ -220,16 +261,17 @@ func (ch *Channel) engine() *engine {
 
 // Stage constructs a request in the command buffer: user-space work that
 // costs nothing at the device. Ring the doorbell (store to Reg) to submit.
+// Request objects come from the device's free pool (see Request.Release)
+// so the steady-state submit path does not allocate.
 func (ch *Channel) Stage(size sim.Duration, kind Kind) *Request {
+	d := ch.Ctx.dev
 	ch.nextRef++
-	r := &Request{
-		ID:   ch.Ctx.dev.nextReqID(),
-		Ref:  ch.nextRef,
-		Size: size,
-		Kind: kind,
-		ch:   ch,
-		done: ch.Ctx.dev.eng.NewGate("reqdone"),
-	}
+	r := d.getRequest()
+	r.ID = d.nextReqID()
+	r.Ref = ch.nextRef
+	r.Size = size
+	r.Kind = kind
+	r.ch = ch
 	ch.staged = append(ch.staged, r)
 	return r
 }
@@ -255,6 +297,10 @@ type Device struct {
 	dmaEngine  *engine // copy engine
 
 	mem *MemoryPool
+
+	// reqFree is the Request free pool fed by Request.Release; Stage
+	// draws from it, reusing the object and its done gate.
+	reqFree []*Request
 
 	// SubmitObserver, if set, is informed of every request that reaches
 	// the device (after any interception). NEON uses it only in tests;
@@ -337,6 +383,21 @@ func (d *Device) nextReqID() uint64 {
 	return d.reqID
 }
 
+// getRequest returns a zeroed request from the free pool, or a fresh one
+// (with its done gate) when the pool is empty.
+func (d *Device) getRequest() *Request {
+	n := len(d.reqFree)
+	if n == 0 {
+		return &Request{done: d.eng.NewGate("reqdone")}
+	}
+	r := d.reqFree[n-1]
+	d.reqFree = d.reqFree[:n-1]
+	done := r.done
+	done.Close() // reopen on next completion; waiters drained before Release
+	*r = Request{done: done}
+	return r
+}
+
 // CreateContext allocates a hardware context for owner. It fails when the
 // device is out of contexts — the Section 6.3 denial-of-service surface.
 func (d *Device) CreateContext(owner TaskID, label string) (*Context, error) {
@@ -373,6 +434,13 @@ func (d *Device) doorbell(ch *Channel, value uint64) {
 		return
 	}
 	now := d.eng.Now()
+	if ch.head > 32 && ch.head*2 > len(ch.ring) {
+		// Compact the consumed prefix so a never-empty ring under
+		// sustained backlog cannot grow without bound.
+		n := copy(ch.ring, ch.ring[ch.head:])
+		ch.ring = ch.ring[:n]
+		ch.head = 0
+	}
 	moved := 0
 	for _, r := range ch.staged {
 		if r.Ref > value {
@@ -386,7 +454,11 @@ func (d *Device) doorbell(ch *Channel, value uint64) {
 		}
 		moved++
 	}
-	ch.staged = ch.staged[moved:]
+	if moved == len(ch.staged) {
+		ch.staged = ch.staged[:0]
+	} else {
+		ch.staged = ch.staged[moved:]
+	}
 	ch.engine().kick()
 }
 
@@ -400,11 +472,12 @@ func (d *Device) KillContext(c *Context) {
 	}
 	c.dead = true
 	for _, ch := range c.channels {
-		for _, r := range ch.ring {
+		for _, r := range ch.ring[ch.head:] {
 			r.Aborted = true
 			r.finish()
 		}
 		ch.ring = nil
+		ch.head = 0
 		for _, r := range ch.staged {
 			r.Aborted = true
 			r.finish()

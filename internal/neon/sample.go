@@ -83,6 +83,9 @@ func (k *Kernel) watchStaged(cs *ChannelState) {
 		}
 		cs.watchedRef = r.Ref
 		req := r
+		// The watcher reads timing fields after the done gate opens, so
+		// the request must survive any completion-time recycling.
+		req.Pin()
 		w := k.eng.Spawn("sample-watch", func(p *sim.Proc) {
 			p.Wait(req.DoneGate())
 			st.observe(req)

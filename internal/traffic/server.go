@@ -107,9 +107,28 @@ type stream struct {
 // Server drives open-loop request streams through a placed, admitted,
 // fair-shared device fleet.
 type Server struct {
+	eng     *sim.Engine
 	fleet   *fleet.Fleet
 	adm     Admission
 	streams []*stream
+
+	// Same-tick completion coalescing: completion hooks append to
+	// doneBuf and the first append of an instant schedules one flush
+	// event at the back of that instant, so N same-tick completions cost
+	// one digest/stats delivery pass instead of N callback hops. Only
+	// commutative per-stream accounting is deferred; fleet queue-depth
+	// release stays inline in the hook because same-tick admission
+	// decisions read it.
+	doneBuf     []doneRec
+	flushQueued bool
+	flushFn     func()
+}
+
+// doneRec is one completed request awaiting the tick-end stats flush.
+type doneRec struct {
+	st  *stream
+	r   *gpu.Request
+	lat sim.Duration
 }
 
 // New builds the fleet, registers one tenant per stream, and spawns the
@@ -120,7 +139,8 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{fleet: f, adm: Admission{MaxDepth: cfg.AdmitDepth, TierDepths: cfg.TierDepths}}
+	s := &Server{eng: eng, fleet: f, adm: Admission{MaxDepth: cfg.AdmitDepth, TierDepths: cfg.TierDepths}}
+	s.flushFn = s.flushDone
 	for i, spec := range cfg.Streams {
 		st := &stream{
 			spec: spec,
@@ -194,6 +214,7 @@ func (s *Server) arrive(p *sim.Proc, st *stream) {
 	if d == nil {
 		d = &dispatcher{srv: s, st: st, node: n,
 			gate: p.Engine().NewGate("dispatch-" + st.spec.Tenant.Name)}
+		d.doneFn = d.onDone
 		st.disp[n] = d
 		p.Engine().Spawn("dispatch/"+st.spec.Tenant.Name, d.run)
 	}
@@ -229,6 +250,11 @@ type dispatcher struct {
 	queue []item
 	gate  *sim.Gate
 	err   error
+
+	// doneFn is the completion hook, bound once: every request of this
+	// (stream, node) pair shares it, so hooking a completion allocates
+	// nothing.
+	doneFn func(*gpu.Request)
 }
 
 func (d *dispatcher) run(p *sim.Proc) {
@@ -260,28 +286,55 @@ func (d *dispatcher) run(p *sim.Proc) {
 			d.st.stats.ColdTime += d.st.spec.Tenant.WorkingSet
 		}
 		r := client.SubmitDetached(p, d.st.kind, d.st.size)
-		d.hookCompletion(it, r)
+		r.Stamp = it.arrival
+		if r.IsDone() {
+			d.onDone(r)
+		} else {
+			r.OnDone = d.doneFn
+		}
 	}
 }
 
-// hookCompletion stamps the request's sojourn latency at completion.
-// The hook runs in engine context the instant the device finishes (or
-// aborts) the request — no polling process per request.
-func (d *dispatcher) hookCompletion(it item, r *gpu.Request) {
-	done := func(r *gpu.Request) {
-		d.srv.fleet.RequestDone(d.node)
-		if r.Aborted {
-			d.st.stats.Aborted++
-			return
-		}
-		d.st.stats.Completed++
-		d.st.stats.Latency.Add(r.Completed.Sub(it.arrival))
-	}
-	if r.IsDone() {
-		done(r)
+// onDone is the completion hook: it runs in engine context the instant
+// the device finishes (or aborts) the request — no polling process per
+// request. The fleet's queue-depth release and the abort counter are
+// immediate; completed-request stats are batched into the server's
+// tick-end flush.
+func (d *dispatcher) onDone(r *gpu.Request) {
+	d.srv.fleet.RequestDone(d.node)
+	if r.Aborted {
+		d.st.stats.Aborted++
 		return
 	}
-	r.OnDone = done
+	d.srv.enqueueDone(d.st, r)
+}
+
+// enqueueDone buffers a completed request for the tick-end stats flush,
+// scheduling the flush event on the first completion of the instant.
+func (s *Server) enqueueDone(st *stream, r *gpu.Request) {
+	s.doneBuf = append(s.doneBuf, doneRec{st: st, r: r, lat: r.Completed.Sub(r.Stamp)})
+	if !s.flushQueued {
+		s.flushQueued = true
+		s.eng.After(0, s.flushFn)
+	}
+}
+
+// flushDone delivers the instant's coalesced completions: per-stream
+// goodput counters and latency digest adds, in completion order. The
+// requests are then recycled to their device pools — every holder is
+// done with them by the end of the completion instant (sampling
+// watchers pin theirs, which exempts them from recycling).
+func (s *Server) flushDone() {
+	s.flushQueued = false
+	buf := s.doneBuf
+	for i := range buf {
+		rec := &buf[i]
+		rec.st.stats.Completed++
+		rec.st.stats.Latency.Add(rec.lat)
+		rec.r.Release()
+		*rec = doneRec{}
+	}
+	s.doneBuf = buf[:0]
 }
 
 // drainFailed retires items queued before a client setup failure so

@@ -77,13 +77,23 @@ func (en *engine) removeChannel(ch *Channel) {
 
 // kick wakes the engine after new work arrives. Only an idle engine
 // reacts; in every other state the current timer or pending completion
-// event re-enters dispatch on its own.
+// event re-enters dispatch on its own. A kick from the tail of a plain
+// event (the async doorbell delivery) into an otherwise-empty instant
+// folds the dispatch inline — unobservable, since the scheduled
+// dispatch would have run immediately next with nothing in between; a
+// kick from process context always schedules, because the running
+// process's continuation belongs to this instant too.
 func (en *engine) kick() {
 	if !en.idle {
 		return
 	}
 	en.idle = false
-	en.dev.eng.Schedule(en.dev.eng.Now(), en.dispatchFn)
+	e := en.dev.eng
+	if !e.InProcContext() && e.NextAfterNow() {
+		en.dispatch()
+		return
+	}
+	e.Schedule(e.Now(), en.dispatchFn)
 }
 
 // dispatch picks the next channel and either starts its head request,

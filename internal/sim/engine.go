@@ -177,7 +177,8 @@ type Engine struct {
 
 	lq *legacyHeap // kind == LegacyHeapQueue only
 
-	procs int // live (unfinished) procs, for leak detection
+	procs  int // live (unfinished) procs, for leak detection
+	inProc int // >0 while process code may be on the stack (Proc.activate)
 
 	// stepping guards against re-entrant Run calls.
 	running bool
@@ -625,6 +626,14 @@ func (e *Engine) NextAfterNow() bool {
 	t, ok := e.peek()
 	return !ok || t > e.now
 }
+
+// InProcContext reports whether process code may currently be on the
+// stack (a Proc activation is in progress). Trampoline folding via
+// NextAfterNow is only sound from plain event context: a running
+// process's continuation is same-instant pending work the event queue
+// cannot see, so callers in proc context must schedule rather than
+// fold.
+func (e *Engine) InProcContext() bool { return e.inProc > 0 }
 
 // Pending returns the number of queued (uncancelled) events. It is O(1):
 // the engine maintains a live counter across Schedule, Stop, dispatch,

@@ -86,13 +86,17 @@ func (p *Proc) run(body func(p *Proc)) {
 }
 
 // activate hands control to the process and waits for it to yield.
-// Must run in engine context.
+// Must run in engine context. The inProc window brackets exactly the
+// span during which process code may be on the stack, which is what
+// InProcContext reports.
 func (p *Proc) activate() {
 	if p.state == procFinished {
 		return
 	}
+	p.engine.inProc++
 	p.resume <- p.killed
 	<-p.yield
+	p.engine.inProc--
 }
 
 // block suspends the process until some event calls activate again.

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// renderWithQueue renders one experiment's table with the engine's
+// event queue pinned to the given kind. DefaultEventQueue is a package
+// variable, so the run is kept serial (Parallel=1) and the previous
+// kind restored afterwards; scenario workers spawned with a different
+// default would defeat the comparison.
+func renderWithQueue(t *testing.T, id string, kind sim.EventQueueKind) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	prev := sim.DefaultEventQueue
+	sim.DefaultEventQueue = kind
+	defer func() { sim.DefaultEventQueue = prev }()
+	opts := Quick()
+	opts.Parallel = 1
+	return e.Run(opts).String()
+}
+
+// TestDifferentialQueueTables renders fig6 (the paper's core fairness
+// artifact: saturating co-runner pairs across every scheduler) and
+// serve (the open-loop traffic path: admission, placement, latency
+// digests) on both the timing-wheel queue and the retained legacy heap
+// and requires byte-identical tables. Together with the event-storm
+// trace test in internal/sim, this pins that the queue swap preserved
+// the engine's (time, seq) dispatch order end-to-end through the full
+// model stack, not just in isolation.
+func TestDifferentialQueueTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig6 + serve twice each (~2s)")
+	}
+	for _, id := range []string{"fig6", "serve"} {
+		wheel := renderWithQueue(t, id, sim.WheelQueue)
+		legacy := renderWithQueue(t, id, sim.LegacyHeapQueue)
+		if wheel != legacy {
+			t.Errorf("%s: table differs between WheelQueue and LegacyHeapQueue:\nwheel:\n%s\nlegacy:\n%s",
+				id, wheel, legacy)
+		}
+	}
+}

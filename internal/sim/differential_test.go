@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// stormTrace drives one randomized event storm on an engine of the
+// given queue kind and returns the full execution trace. The storm is
+// built to exercise every queue region: same-tick bursts (FIFO order),
+// near-horizon events (overflow heap), mid- and far-future events
+// (every wheel level), cancellations, nested rescheduling, and a
+// mid-run Reset followed by a second storm on the recycled slab.
+func stormTrace(kind EventQueueKind, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngineWithQueue(kind)
+	var trace []string
+	record := func(id int) func() {
+		return func() { trace = append(trace, fmt.Sprintf("%d@%d", id, e.Now())) }
+	}
+	// Delay spectrum spanning all wheel levels plus the overflow heap:
+	// the near horizon is 2^16 ns and the wheel covers ~2^46 ns.
+	delay := func() Duration {
+		switch rng.Intn(5) {
+		case 0:
+			return Duration(rng.Intn(3)) // same-tick and next-tick bursts
+		case 1:
+			return Duration(rng.Intn(1 << 16)) // near horizon
+		case 2:
+			return Duration(rng.Intn(1 << 24)) // low wheel levels
+		case 3:
+			return Duration(rng.Intn(1 << 40)) // high wheel levels
+		default:
+			return Duration(1<<46 + rng.Int63n(1<<50)) // overflow region
+		}
+	}
+	storm := func(base, n int) {
+		var timers []Timer
+		for i := 0; i < n; i++ {
+			id := base + i
+			switch rng.Intn(4) {
+			case 0:
+				// Nested: reschedule once from inside the event.
+				d2 := delay()
+				tm := e.After(delay(), func() {
+					trace = append(trace, fmt.Sprintf("%d@%d", id, e.Now()))
+					e.After(d2, record(id+1_000_000))
+				})
+				timers = append(timers, tm)
+			default:
+				timers = append(timers, e.After(delay(), record(id)))
+			}
+		}
+		// Cancel a random quarter; record which, so both kinds cancel the
+		// same logical events.
+		for _, idx := range rng.Perm(len(timers))[:len(timers)/4] {
+			stopped := timers[idx].Stop()
+			trace = append(trace, fmt.Sprintf("stop%d=%v", idx, stopped))
+		}
+		e.Run()
+	}
+	storm(0, 400)
+	trace = append(trace, fmt.Sprintf("end1@%d pending=%d", e.Now(), e.Pending()))
+	e.Reset()
+	storm(10_000, 300)
+	trace = append(trace, fmt.Sprintf("end2@%d pending=%d", e.Now(), e.Pending()))
+	return trace
+}
+
+// TestDifferentialEventStorm runs randomized storms on the timing-wheel
+// queue and the retained legacy heap and requires identical execution
+// traces: same events, same times, same order within ties. This is the
+// bit-for-bit (time, seq) contract any future queue swap must preserve.
+func TestDifferentialEventStorm(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		wheel := stormTrace(WheelQueue, seed)
+		legacy := stormTrace(LegacyHeapQueue, seed)
+		if len(wheel) != len(legacy) {
+			t.Fatalf("seed %d: trace lengths differ: wheel %d vs legacy %d",
+				seed, len(wheel), len(legacy))
+		}
+		for i := range wheel {
+			if wheel[i] != legacy[i] {
+				t.Fatalf("seed %d: traces diverge at %d: wheel %q vs legacy %q",
+					seed, i, wheel[i], legacy[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialDefaultQueue pins that NewEngine uses the package
+// default kind, so the differential suite really covers what ships.
+func TestDifferentialDefaultQueue(t *testing.T) {
+	if DefaultEventQueue != WheelQueue {
+		t.Fatalf("DefaultEventQueue = %v, want WheelQueue", DefaultEventQueue)
+	}
+}
+
+// TestPropertyTimerStopRecycledGeneration: a Timer handle that survived
+// its event's recycling must be inert. Slab slots are reused aggressively
+// (free-list, LIFO), so this drives fire/stop/refire cycles designed to
+// make stale handles point at recycled slots and asserts no stale Stop
+// ever cancels the slot's new occupant (generation counters).
+func TestPropertyTimerStopRecycledGeneration(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		fired := map[int]bool{}
+		var stale []Timer
+		live := map[int]Timer{}
+		next := 0
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 10; i++ {
+				id := next
+				next++
+				live[id] = e.After(Duration(rng.Intn(50)), func() { fired[id] = true })
+			}
+			// Every handle from previous rounds is stale by now (fired or
+			// stopped events recycle their slots): Stop must be a no-op
+			// returning false.
+			for _, tm := range stale {
+				if tm.Stop() {
+					t.Fatalf("seed %d: stale Timer.Stop() cancelled a recycled slot", seed)
+				}
+			}
+			// Stop a few live ones before running; those must report true
+			// exactly once and their events must not fire.
+			stoppedIDs := map[int]bool{}
+			for id, tm := range live {
+				if rng.Intn(4) == 0 {
+					if !tm.Stop() {
+						t.Fatalf("seed %d: live Timer.Stop() = false", seed)
+					}
+					if tm.Stop() {
+						t.Fatalf("seed %d: second Stop() on same handle = true", seed)
+					}
+					stoppedIDs[id] = true
+				}
+			}
+			e.Run()
+			for id, tm := range live {
+				if stoppedIDs[id] == fired[id] {
+					t.Fatalf("seed %d: event %d stopped=%v fired=%v",
+						seed, id, stoppedIDs[id], fired[id])
+				}
+				stale = append(stale, tm)
+				delete(live, id)
+			}
+		}
+		// Reset bumps every slot's generation: handles minted before the
+		// Reset must stay inert against the rebuilt free list too.
+		pre := e.After(10, func() {})
+		e.Reset()
+		if pre.Stop() {
+			t.Fatal("Timer from before Reset cancelled a post-Reset slot")
+		}
+		post := false
+		e.After(10, func() { post = true })
+		e.Run()
+		if !post {
+			t.Fatal("post-Reset event lost")
+		}
+	}
+}

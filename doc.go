@@ -41,6 +41,8 @@
 // See README.md for the quickstart and package map, DESIGN.md for the
 // substitution argument, system inventory, and harness architecture,
 // EXPERIMENTS.md for how to regenerate each figure (including the
-// -parallel and -json flags) and what to expect versus the paper, and
-// SCHEDULERS.md for the full scheduling and placement policy reference.
+// -parallel and -json flags) and what to expect versus the paper,
+// SCHEDULERS.md for the full scheduling and placement policy
+// reference, and PERFORMANCE.md for the benchmark methodology, the
+// committed BENCH_*.json trajectory, and the CI regression gate.
 package repro

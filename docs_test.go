@@ -3,18 +3,25 @@ package repro
 import (
 	"os"
 	"regexp"
+	"strings"
 	"testing"
 )
 
-// TestDocCrossReferences pins the documentation graph: every markdown
-// file that doc.go or a top-level document points at must exist, so
-// onboarding links (doc.go → README.md → DESIGN.md / EXPERIMENTS.md /
-// SCHEDULERS.md) never dangle.
-func TestDocCrossReferences(t *testing.T) {
-	sources := []string{"doc.go", "README.md", "DESIGN.md", "EXPERIMENTS.md", "SCHEDULERS.md"}
-	ref := regexp.MustCompile(`[A-Za-z0-9_-]+\.md`)
+// docSources is the documentation graph whose links must never dangle:
+// doc.go → README.md → DESIGN.md / EXPERIMENTS.md / SCHEDULERS.md /
+// PERFORMANCE.md.
+var docSources = []string{
+	"doc.go", "README.md", "DESIGN.md", "EXPERIMENTS.md",
+	"SCHEDULERS.md", "PERFORMANCE.md",
+}
 
-	for _, src := range sources {
+// TestDocCrossReferences pins the documentation graph: every markdown
+// file and every committed trajectory point (BENCH_<n>.json) that a
+// doc source points at must exist.
+func TestDocCrossReferences(t *testing.T) {
+	ref := regexp.MustCompile(`[A-Za-z0-9_-]+\.md|BENCH_[0-9]+\.json`)
+
+	for _, src := range docSources {
 		data, err := os.ReadFile(src)
 		if err != nil {
 			t.Fatalf("reading %s: %v", src, err)
@@ -23,6 +30,99 @@ func TestDocCrossReferences(t *testing.T) {
 			if _, err := os.Stat(target); err != nil {
 				t.Errorf("%s references %s, which does not exist", src, target)
 			}
+		}
+	}
+}
+
+// TestDocSectionReferences resolves in-document section pointers:
+// every "DESIGN.md §N" written anywhere in the doc graph must match an
+// actual "## N." heading in DESIGN.md, so renumbering or deleting a
+// section without fixing its referrers fails the build.
+func TestDocSectionReferences(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heading := regexp.MustCompile(`(?m)^## ([0-9]+)\.`)
+	sections := map[string]bool{}
+	for _, m := range heading.FindAllStringSubmatch(string(design), -1) {
+		sections[m[1]] = true
+	}
+	if len(sections) == 0 {
+		t.Fatal("DESIGN.md has no numbered '## N.' sections")
+	}
+	secRef := regexp.MustCompile(`DESIGN\.md §([0-9]+)`)
+	for _, src := range docSources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatalf("reading %s: %v", src, err)
+		}
+		for _, m := range secRef.FindAllStringSubmatch(string(data), -1) {
+			if !sections[m[1]] {
+				t.Errorf("%s references DESIGN.md §%s, which has no '## %s.' heading",
+					src, m[1], m[1])
+			}
+		}
+	}
+}
+
+// TestPerformanceDocCoversGateBenchmarks pins PERFORMANCE.md to the
+// bench machinery it documents: the gate benchmarks, the regeneration
+// tool, and the golden gate must be mentioned by name, so renaming any
+// of them without updating the methodology doc fails the build.
+func TestPerformanceDocCoversGateBenchmarks(t *testing.T) {
+	data, err := os.ReadFile("PERFORMANCE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"BenchmarkSimEngine", "BenchmarkRequestPath", "BenchmarkDFQCycle",
+		"cmd/benchjson", "quick.golden", "BENCH_6.json", "DESIGN.md §11",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("PERFORMANCE.md does not mention %s", want)
+		}
+	}
+}
+
+// TestExperimentsDocCoversRegistry keeps EXPERIMENTS.md in step with
+// the CLI: every experiment ID runnable via -exp must appear in the
+// regeneration guide.
+func TestExperimentsDocCoversRegistry(t *testing.T) {
+	data, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, id := range []string{
+		"table1", "fig2", "sec3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "protect", "sec63", "ablation-stats",
+		"ablation-params", "fleet", "serve", "hetero", "tiers",
+	} {
+		if !strings.Contains(doc, id) {
+			t.Errorf("EXPERIMENTS.md does not document experiment %q", id)
+		}
+	}
+}
+
+// TestDesignDocCoversEngineInternals pins DESIGN.md §11's anchor
+// terms: the queue seam, pool APIs, and differential tests it
+// documents must keep their names, or the section silently rots.
+func TestDesignDocCoversEngineInternals(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"## 11.", "NextAfterNow", "LegacyHeapQueue", "NewEngineWithQueue",
+		"DefaultEventQueue", "TestDifferentialEventStorm",
+		"TestDifferentialQueueTables", "TestPropertyTimerStopRecycledGeneration",
+		"Request.Release", "Request.Pin",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("DESIGN.md does not mention %s", want)
 		}
 	}
 }

@@ -112,6 +112,23 @@ func parseTiers(s string) ([]workload.Tier, error) {
 	return out, nil
 }
 
+// parseTenants turns the -tenants flag into the scale experiment's
+// tenant-count sweep; the empty string keeps the default 10^2..10^5.
+func parseTenants(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -tenants value %q (want positive counts like 100,10000)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // parseLoads turns the -load flag into a load-factor sweep; the empty
 // string keeps the experiment's default.
 func parseLoads(s string) ([]float64, error) {
@@ -141,6 +158,7 @@ func main() {
 		classes  = flag.String("classes", "", "comma-separated device classes (k20,consumer,nextgen) for the hetero and serve fleets")
 		weights  = flag.String("weights", "", "premium,standard,best-effort fair-share weights for the tiers experiment (e.g. 4,1,1)")
 		tiers    = flag.String("tiers", "", "admission tiers for the tiers experiment's three roles (e.g. premium,standard,best-effort)")
+		tenants  = flag.String("tenants", "", "comma-separated tenant counts for the scale experiment (default 100,1000,10000,100000)")
 	)
 	flag.Parse()
 
@@ -164,6 +182,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
 		os.Exit(2)
 	}
+	tenantSweep, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neonsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range exp.Registry() {
@@ -182,6 +205,7 @@ func main() {
 	opts.Classes = classMix
 	opts.Weights = weightVec
 	opts.Tiers = tierVec
+	opts.Tenants = tenantSweep
 
 	var records []benchRecord
 	run := func(e exp.Experiment) {

@@ -78,7 +78,9 @@ func TestPerformanceDocCoversGateBenchmarks(t *testing.T) {
 	doc := string(data)
 	for _, want := range []string{
 		"BenchmarkSimEngine", "BenchmarkRequestPath", "BenchmarkDFQCycle",
-		"cmd/benchjson", "quick.golden", "BENCH_6.json", "DESIGN.md §11",
+		"BenchmarkDFQCycleTenants", "BenchmarkBoardReconcile",
+		"cmd/benchjson", "quick.golden", "BENCH_6.json", "BENCH_7.json",
+		"DESIGN.md §11", "DESIGN.md §12",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("PERFORMANCE.md does not mention %s", want)
@@ -99,6 +101,7 @@ func TestExperimentsDocCoversRegistry(t *testing.T) {
 		"table1", "fig2", "sec3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "protect", "sec63", "ablation-stats",
 		"ablation-params", "fleet", "serve", "hetero", "tiers",
+		"-exp scale", "-tenants",
 	} {
 		if !strings.Contains(doc, id) {
 			t.Errorf("EXPERIMENTS.md does not document experiment %q", id)
@@ -120,6 +123,30 @@ func TestDesignDocCoversEngineInternals(t *testing.T) {
 		"DefaultEventQueue", "TestDifferentialEventStorm",
 		"TestDifferentialQueueTables", "TestPropertyTimerStopRecycledGeneration",
 		"Request.Release", "Request.Pin",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("DESIGN.md does not mention %s", want)
+		}
+	}
+}
+
+// TestDesignDocCoversScaleIndex pins DESIGN.md §12's anchor terms: the
+// ledger seam, the index/board types, and every test the section cites
+// as evidence must keep their names.
+func TestDesignDocCoversScaleIndex(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"## 12.", "core.FlowIndex", "core.FlowID", "core.DefaultDFQLedger",
+		"LinearLedger", "NewDisengagedFairQueueingWithLedger",
+		"fleet.NewBoardWith", "fleet.Config.BoardEpoch",
+		"TestDifferentialDFQIndex", "TestDifferentialLedgerTables",
+		"FuzzDFQIndexOps", "TestFlowIndexStaleHandles",
+		"TestBoardShardCountInvariance", "TestBoardEpochLeadBound",
+		"TestBoardShardUnderflowPanic", "BenchmarkDFQCycleTenants",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("DESIGN.md does not mention %s", want)

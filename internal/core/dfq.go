@@ -78,12 +78,13 @@ const (
 	dfqFreeRun
 )
 
-// dfqTask is the per-task scheduler state.
+// dfqTask is the per-task scheduler state. The task's virtual time —
+// its estimated cumulative usage in normalized work units divided by
+// its fair-share weight (probabilistically updated, per the paper) —
+// lives in the scheduler's DFQLedger, addressed by flow.
 type dfqTask struct {
-	// vt is the task's virtual time: its estimated cumulative usage in
-	// normalized work units divided by its fair-share weight
-	// (probabilistically updated, per the paper).
-	vt Work
+	// flow is the task's slot in the virtual-time ledger.
+	flow FlowID
 	// est is the estimated mean request service time from the most recent
 	// successful sampling run.
 	est sim.Duration
@@ -120,8 +121,8 @@ type DisengagedFairQueueing struct {
 	mode      dfqMode
 	sampled   *neon.Task
 	st        map[*neon.Task]*dfqTask
+	ledger    DFQLedger
 	admitGate *sim.Gate
-	sysVT     Work
 	speed     float64 // device class speed factor, set at Start
 
 	// Cycles counts completed engagement episodes, for tests.
@@ -140,8 +141,16 @@ type DisengagedFairQueueing struct {
 }
 
 // NewDisengagedFairQueueing returns the scheduler with the given
-// configuration; zero fields are replaced by defaults.
+// configuration; zero fields are replaced by defaults. Virtual-time
+// state lives in a DFQLedger of the DefaultDFQLedger kind.
 func NewDisengagedFairQueueing(cfg DFQConfig) *DisengagedFairQueueing {
+	return NewDisengagedFairQueueingWithLedger(cfg, DefaultDFQLedger)
+}
+
+// NewDisengagedFairQueueingWithLedger is the constructor seam the
+// differential tests use: the same scheduler on an explicit ledger
+// kind, so the indexed and linear ledgers can be compared end to end.
+func NewDisengagedFairQueueingWithLedger(cfg DFQConfig, kind DFQLedgerKind) *DisengagedFairQueueing {
 	def := DefaultDFQConfig()
 	if cfg.SamplePeriod <= 0 {
 		cfg.SamplePeriod = def.SamplePeriod
@@ -158,7 +167,11 @@ func NewDisengagedFairQueueing(cfg DFQConfig) *DisengagedFairQueueing {
 	if cfg.DefaultEstimate <= 0 {
 		cfg.DefaultEstimate = def.DefaultEstimate
 	}
-	return &DisengagedFairQueueing{cfg: cfg, st: make(map[*neon.Task]*dfqTask)}
+	return &DisengagedFairQueueing{
+		cfg:    cfg,
+		st:     make(map[*neon.Task]*dfqTask),
+		ledger: NewDFQLedger(kind),
+	}
 }
 
 // Name implements neon.Scheduler.
@@ -167,18 +180,21 @@ func (d *DisengagedFairQueueing) Name() string { return "disengaged-fair-queuein
 // Config returns the active configuration.
 func (d *DisengagedFairQueueing) Config() DFQConfig { return d.cfg }
 
+// LedgerKind reports which virtual-time ledger the scheduler runs on.
+func (d *DisengagedFairQueueing) LedgerKind() DFQLedgerKind { return d.ledger.Kind() }
+
 // VirtualTime returns the task's current virtual time in normalized
 // work, for tests.
 func (d *DisengagedFairQueueing) VirtualTime(t *neon.Task) Work {
 	if s := d.st[t]; s != nil {
-		return s.vt
+		return d.ledger.VT(s.flow)
 	}
 	return 0
 }
 
 // SystemVirtualTime returns the system-wide virtual time in normalized
 // work.
-func (d *DisengagedFairQueueing) SystemVirtualTime() Work { return d.sysVT }
+func (d *DisengagedFairQueueing) SystemVirtualTime() Work { return d.ledger.SysVT() }
 
 // Estimate returns the task's sampled mean request size, for tests.
 func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
@@ -227,12 +243,15 @@ func (d *DisengagedFairQueueing) chargeSpeed() float64 {
 
 // TaskAdmitted implements neon.Scheduler.
 func (d *DisengagedFairQueueing) TaskAdmitted(t *neon.Task) {
-	d.st[t] = &dfqTask{est: d.cfg.DefaultEstimate, vt: d.sysVT}
+	d.st[t] = &dfqTask{est: d.cfg.DefaultEstimate, flow: d.ledger.Add()}
 	d.admitGate.Broadcast()
 }
 
 // TaskExited implements neon.Scheduler.
 func (d *DisengagedFairQueueing) TaskExited(t *neon.Task) {
+	if s := d.st[t]; s != nil {
+		d.ledger.Remove(s.flow)
+	}
 	delete(d.st, t)
 }
 
@@ -357,6 +376,12 @@ func (d *DisengagedFairQueueing) run(p *sim.Proc) {
 // proportional to weight. Tasks that spent the interval denied consumed
 // nothing and are charged nothing, but still count as active (they are
 // waiting, not idle), so they neither forfeit nor accrue credit.
+//
+// The bookkeeping itself — where virtual times live, how the active
+// minimum is found, when idle flows catch up — is the ledger's: the
+// indexed ledger does each step in O(log active), the linear ledger in
+// one scan per cycle, and the differential tests pin that both produce
+// identical virtual times and denial decisions.
 func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duration) {
 	speed := d.chargeSpeed()
 	windowW := WorkFor(window, speed)
@@ -367,6 +392,7 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	minWeight := 1.0
 	for _, t := range d.k.Tasks() {
 		s := d.state(t)
+		d.ledger.SetActive(s.flow, s.activeAtBarrier)
 		if s.activeAtBarrier {
 			active = append(active, t)
 			if !s.denied { // denial state still reflects the last interval
@@ -389,32 +415,17 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 			delta := PerWeight(
 				WorkFor(sim.Duration(float64(window)*float64(s.est)/float64(estSum)), speed),
 				t.ShareWeight())
-			s.vt += delta
+			d.ledger.Charge(s.flow, delta)
 			charges[t] = delta
 		}
 	}
 
-	// Step 1b: the system virtual time is the oldest virtual time among
-	// active tasks.
-	if len(active) > 0 {
-		minVT := d.st[active[0]].vt
-		for _, t := range active[1:] {
-			if d.st[t].vt < minVT {
-				minVT = d.st[t].vt
-			}
-		}
-		if minVT > d.sysVT {
-			d.sysVT = minVT
-		}
-	}
-
-	// Step 2: idle tasks forfeit unused credit.
-	for _, t := range d.k.Tasks() {
-		s := d.state(t)
-		if !s.activeAtBarrier && s.vt < d.sysVT {
-			s.vt = d.sysVT
-		}
-	}
+	// Steps 1b and 2: the system virtual time advances to the oldest
+	// virtual time among active flows, and idle flows forfeit unused
+	// credit — eagerly on the linear ledger, lazily (at next read or
+	// activation, which is observably identical because the system
+	// virtual time is monotone) on the indexed one.
+	d.ledger.AdvanceSysVT()
 
 	// Instrumentation: after charging and system-virtual-time advance,
 	// every backlogged task's lead must sit within LeadBound — it was
@@ -428,7 +439,7 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 		d.maxWindow = episodeW
 	}
 	for _, t := range active {
-		lead := d.st[t].vt - d.sysVT
+		lead := d.ledger.Lead(d.st[t].flow)
 		if lead > d.MaxLead {
 			d.MaxLead = lead
 		}
@@ -464,14 +475,14 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	}
 	for _, t := range d.k.Tasks() {
 		s := d.state(t)
-		s.denied = s.vt-d.sysVT >= freeRunW
+		s.denied = d.ledger.Lead(s.flow) >= freeRunW
 	}
 }
 
 func (d *DisengagedFairQueueing) state(t *neon.Task) *dfqTask {
 	s := d.st[t]
 	if s == nil {
-		s = &dfqTask{est: d.cfg.DefaultEstimate, vt: d.sysVT}
+		s = &dfqTask{est: d.cfg.DefaultEstimate, flow: d.ledger.Add()}
 		d.st[t] = s
 	}
 	return s

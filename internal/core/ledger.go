@@ -1,0 +1,259 @@
+package core
+
+// DFQLedgerKind selects the virtual-time ledger implementation behind
+// DisengagedFairQueueing.
+type DFQLedgerKind int
+
+const (
+	// IndexedLedger is the production ledger: a FlowIndex — flat-slab
+	// per-flow state, a min-VT heap over active flows, idle flows parked
+	// outside it — so every per-cycle ledger step is O(log active)
+	// instead of O(all tenants).
+	IndexedLedger DFQLedgerKind = iota
+	// LinearLedger is the original map-free restatement of the
+	// pre-index ledger: charge is O(1) but every system-virtual-time
+	// advance scans all flows (min over active, eager idle catch-up).
+	// It is retained so differential tests can pin that the index
+	// reproduces its virtual times, leads, and denial decisions
+	// bit-for-bit.
+	LinearLedger
+)
+
+// DefaultDFQLedger is the ledger kind NewDisengagedFairQueueing uses.
+// It is a package variable only so determinism tests can run whole
+// experiments on the linear ledger (the same seam DefaultEventQueue
+// provides for the engine's queues); production code must not change
+// it.
+var DefaultDFQLedger = IndexedLedger
+
+// DFQLedger is the virtual-time state store of a fair-queueing cycle:
+// per-flow virtual times addressed by generation-counted FlowIDs, an
+// active/idle split, and the system-virtual-time fold. The scheduler
+// (or the scale harness) owns flow classification and charge
+// computation; the ledger owns where per-tenant state lives and what a
+// cycle's bookkeeping costs.
+type DFQLedger interface {
+	// Kind identifies the implementation.
+	Kind() DFQLedgerKind
+	// Grow pre-allocates capacity for n flows.
+	Grow(n int)
+	// Add registers a new idle flow at the system virtual time.
+	Add() FlowID
+	// Remove frees the flow; stale handles are no-ops everywhere.
+	Remove(id FlowID)
+	// SetActive moves the flow between the active set (participates in
+	// the system-virtual-time minimum) and the idle side (forfeits
+	// unused credit instead).
+	SetActive(id FlowID, active bool)
+	// Active reports the flow's current classification.
+	Active(id FlowID) bool
+	// Charge advances the flow's virtual time by a weighted normalized
+	// delta.
+	Charge(id FlowID, delta Work)
+	// VT returns the flow's virtual time (idle flows report the
+	// caught-up value).
+	VT(id FlowID) Work
+	// Lead returns max(0, VT-SysVT), the denial rule's input.
+	Lead(id FlowID) Work
+	// AdvanceSysVT folds the active minimum into the system virtual
+	// time and returns it.
+	AdvanceSysVT() Work
+	// SysVT returns the system virtual time.
+	SysVT() Work
+	// Len and ActiveLen report the population and its active subset.
+	Len() int
+	ActiveLen() int
+	// StructuralAllocs counts deterministic allocation events (flow
+	// registrations, slab/heap growth) for the scale experiment's
+	// allocs-per-request column.
+	StructuralAllocs() int64
+}
+
+// NewDFQLedger constructs a ledger of the given kind.
+func NewDFQLedger(kind DFQLedgerKind) DFQLedger {
+	if kind == LinearLedger {
+		return &linearLedger{}
+	}
+	return NewFlowIndex()
+}
+
+// Kind implements DFQLedger for the production index.
+func (x *FlowIndex) Kind() DFQLedgerKind { return IndexedLedger }
+
+var _ DFQLedger = (*FlowIndex)(nil)
+
+// linearState classifies a linear-ledger slot.
+type linearState uint8
+
+const (
+	linearFree linearState = iota
+	linearIdle
+	linearActive
+)
+
+// linearSlot is one flow of the linear ledger.
+type linearSlot struct {
+	vt    Work
+	gen   uint32
+	state linearState
+}
+
+// linearLedger stores flows in the same slab-with-generations shape as
+// FlowIndex but keeps no index: AdvanceSysVT is a full scan over every
+// flow — the exact cost profile (and arithmetic) of the pre-index
+// DisengagedFairQueueing, restated behind the ledger interface.
+type linearLedger struct {
+	slab  []linearSlot
+	free  []uint32
+	sysVT Work
+	grows int64
+}
+
+func (l *linearLedger) Kind() DFQLedgerKind { return LinearLedger }
+
+func (l *linearLedger) Grow(n int) {
+	if cap(l.slab) < n {
+		slab := make([]linearSlot, len(l.slab), n)
+		copy(slab, l.slab)
+		l.slab = slab
+		l.grows++
+	}
+}
+
+func (l *linearLedger) Add() FlowID {
+	var i uint32
+	if n := len(l.free); n > 0 {
+		i = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		i = uint32(len(l.slab))
+		if len(l.slab) == cap(l.slab) {
+			l.grows++
+		}
+		l.slab = append(l.slab, linearSlot{gen: 1})
+		l.grows++
+	}
+	s := &l.slab[i]
+	s.vt = l.sysVT
+	s.state = linearIdle
+	return FlowID{idx: i, gen: s.gen}
+}
+
+func (l *linearLedger) Remove(id FlowID) {
+	s := l.slot(id)
+	if s == nil {
+		return
+	}
+	s.gen++
+	s.state = linearFree
+	l.free = append(l.free, id.idx)
+}
+
+func (l *linearLedger) SetActive(id FlowID, active bool) {
+	s := l.slot(id)
+	if s == nil {
+		return
+	}
+	if active {
+		if s.state == linearIdle && s.vt < l.sysVT {
+			s.vt = l.sysVT
+		}
+		s.state = linearActive
+	} else {
+		s.state = linearIdle
+	}
+}
+
+func (l *linearLedger) Active(id FlowID) bool {
+	s := l.slot(id)
+	return s != nil && s.state == linearActive
+}
+
+func (l *linearLedger) Charge(id FlowID, delta Work) {
+	s := l.slot(id)
+	if s == nil {
+		return
+	}
+	if s.state == linearIdle && s.vt < l.sysVT {
+		s.vt = l.sysVT
+	}
+	s.vt += delta
+}
+
+func (l *linearLedger) VT(id FlowID) Work {
+	s := l.slot(id)
+	if s == nil {
+		return 0
+	}
+	if s.state == linearIdle && s.vt < l.sysVT {
+		return l.sysVT
+	}
+	return s.vt
+}
+
+func (l *linearLedger) Lead(id FlowID) Work {
+	if lead := l.VT(id) - l.sysVT; lead > 0 {
+		return lead
+	}
+	return 0
+}
+
+// AdvanceSysVT is the linear ledger's defining cost: one pass over the
+// whole slab for the active minimum, and a second for the idle
+// catch-up — O(all tenants) per cycle, the paper-scale behavior the
+// FlowIndex replaces.
+func (l *linearLedger) AdvanceSysVT() Work {
+	first := true
+	var min Work
+	for i := range l.slab {
+		s := &l.slab[i]
+		if s.state != linearActive {
+			continue
+		}
+		if first || s.vt < min {
+			min = s.vt
+			first = false
+		}
+	}
+	if !first && min > l.sysVT {
+		l.sysVT = min
+	}
+	for i := range l.slab {
+		s := &l.slab[i]
+		if s.state == linearIdle && s.vt < l.sysVT {
+			s.vt = l.sysVT
+		}
+	}
+	return l.sysVT
+}
+
+func (l *linearLedger) SysVT() Work { return l.sysVT }
+
+func (l *linearLedger) Len() int {
+	return len(l.slab) - len(l.free)
+}
+
+func (l *linearLedger) ActiveLen() int {
+	n := 0
+	for i := range l.slab {
+		if l.slab[i].state == linearActive {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *linearLedger) StructuralAllocs() int64 { return l.grows }
+
+func (l *linearLedger) slot(id FlowID) *linearSlot {
+	if int(id.idx) >= len(l.slab) {
+		return nil
+	}
+	s := &l.slab[id.idx]
+	if s.gen != id.gen || s.state == linearFree {
+		return nil
+	}
+	return s
+}
+
+var _ DFQLedger = (*linearLedger)(nil)

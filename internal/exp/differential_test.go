@@ -3,6 +3,7 @@ package exp
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,46 @@ func TestDifferentialQueueTables(t *testing.T) {
 		if wheel != legacy {
 			t.Errorf("%s: table differs between WheelQueue and LegacyHeapQueue:\nwheel:\n%s\nlegacy:\n%s",
 				id, wheel, legacy)
+		}
+	}
+}
+
+// renderWithLedger renders one experiment's table with the DFQ
+// virtual-time ledger pinned to the given kind — the same seam
+// discipline as renderWithQueue: DefaultDFQLedger is a package
+// variable, so the run stays serial and the previous kind is restored.
+func renderWithLedger(t *testing.T, id string, kind core.DFQLedgerKind) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	prev := core.DefaultDFQLedger
+	core.DefaultDFQLedger = kind
+	defer func() { core.DefaultDFQLedger = prev }()
+	opts := Quick()
+	opts.Parallel = 1
+	return e.Run(opts).String()
+}
+
+// TestDifferentialLedgerTables renders fig6 (pairwise fairness under
+// every scheduler — the paper's core DFQ artifact) and tiers (weighted
+// shares under overload, the path most sensitive to virtual-time
+// arithmetic) on both the indexed and the linear DFQ ledger and
+// requires byte-identical tables. Together with core's
+// TestDifferentialDFQIndex op storms, this pins that the min-VT heap
+// and lazy idle catch-up changed the cost of the engagement cycle, not
+// its decisions, end-to-end through the full model stack.
+func TestDifferentialLedgerTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig6 + tiers twice each (~4s)")
+	}
+	for _, id := range []string{"fig6", "tiers"} {
+		indexed := renderWithLedger(t, id, core.IndexedLedger)
+		linear := renderWithLedger(t, id, core.LinearLedger)
+		if indexed != linear {
+			t.Errorf("%s: table differs between IndexedLedger and LinearLedger:\nindexed:\n%s\nlinear:\n%s",
+				id, indexed, linear)
 		}
 	}
 }

@@ -34,6 +34,7 @@ func Registry() []Experiment {
 		{"serve", "open-loop traffic: latency SLOs, admission control, overload", ServeExp},
 		{"hetero", "mixed device classes: normalized vs raw DFQ accounting", HeteroExp},
 		{"tiers", "weighted shares and SLO service tiers under overload", TiersExp},
+		{"scale", "indexed fair queueing at 10^2..10^5 tenants", ScaleExp},
 	}
 }
 

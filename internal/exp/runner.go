@@ -54,6 +54,9 @@ type Options struct {
 	// premium/standard/best-effort streams in order. Nil keeps each
 	// role's namesake tier.
 	Tiers []workload.Tier
+	// Tenants overrides the scale experiment's tenant-count sweep
+	// (cmd/neonsim -tenants); nil means DefaultScaleTenants.
+	Tenants []int
 }
 
 // DefaultPenalty is the graphics arbitration bias observed in Section

@@ -1,0 +1,328 @@
+package exp
+
+// The scale experiment: indexed fair queueing at production tenant
+// counts. The paper's DFQ keeps per-tenant virtual-time state for a
+// handful of applications; the ROADMAP's north star is millions of
+// users, which the simulated GPU stack cannot host directly (a device
+// exposes 48 channels). So this experiment drives the scheduling
+// *state machinery* itself — a core.DFQLedger per device reconciling
+// through a sharded fleet.Board — with a synthetic open-loop engagement
+// cycle: each cycle a bounded working set of tenants is activated,
+// charged its estimated share of the engagement window, folded into the
+// fleet-wide system virtual time, and denied when its fleet lead
+// reaches the free-run horizon, exactly the per-cycle bookkeeping of
+// core.DisengagedFairQueueing. Tenant count sweeps 10²→10⁵ while the
+// per-cycle working set stays fixed, so any O(tenants) step in the
+// ledger or the board would surface as allocations (and wall time)
+// growing with the population; the table pins allocs/request flat and
+// the weighted lead bound holding at every scale. Wall-clock scaling is
+// benchmarked separately (BenchmarkDFQCycleTenants*, BENCH_7.json) —
+// the golden table only carries deterministic columns.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"time"
+)
+
+// DefaultScaleTenants is the tenant-count sweep: two decades per step
+// from the paper's regime to the fleet-scale one.
+func DefaultScaleTenants() []int { return []int{100, 1_000, 10_000, 100_000} }
+
+// ScaleTenants resolves the sweep for these Options: the -tenants
+// override replaces it with exactly the given counts.
+func (o Options) ScaleTenants() []int {
+	if len(o.Tenants) > 0 {
+		return o.Tenants
+	}
+	return DefaultScaleTenants()
+}
+
+// ScaleScheds returns the harness's scheduler sweep: round-robin
+// timeslice tokens against the indexed DFQ ledger.
+func ScaleScheds() []Sched { return []Sched{TS, DFQ} }
+
+// The synthetic engagement cycle's fixed parameters.
+const (
+	// scaleDevices is the fleet width: two ledgers reconciling through
+	// one board, enough for multi-device leads without dominating cost.
+	scaleDevices = 2
+	// scaleWorkingSet bounds the tenants engaged per device cycle — the
+	// channel-pool reality that only a bounded set runs at once no
+	// matter how many tenants exist.
+	scaleWorkingSet = 256
+	// scaleActiveCycles is how many cycles a picked tenant stays active
+	// (backlogged) before idling out and forfeiting credit.
+	scaleActiveCycles = 4
+	// scaleChurnEvery and scaleChurnCount recycle tenant slots
+	// (remove + re-register) to exercise generation-counted handles.
+	scaleChurnEvery = 50
+	scaleChurnCount = 8
+	// scaleWindow and scaleFreeRun are the engagement window and
+	// disengaged free run of the synthetic cycle (the paper's 30ms
+	// window, FreeRunMultiplier 5).
+	scaleWindow  = 30 * time.Millisecond
+	scaleFreeRun = 5 * scaleWindow
+)
+
+// ScaleResult is one cell of the scale grid.
+type ScaleResult struct {
+	Tenants int
+	Sched   Sched
+
+	// Requests is the number of engagement grants charged; Cycles the
+	// per-device cycles run.
+	Requests int64
+	Cycles   int
+	// ReqPerSec is requests per simulated second (cycles x window).
+	ReqPerSec float64
+	// AllocsPerReq is deterministic structural allocations (ledger
+	// registrations plus slab/heap growth) per request.
+	AllocsPerReq float64
+	// BoundRatio is the worst observed fleet-wide lead over the weighted
+	// lead bound (freeRun + devices x window / minWeight); InBound
+	// reports ratio <= 1. DFQ only.
+	BoundRatio float64
+	InBound    bool
+}
+
+// RunScaleCell runs the synthetic engagement harness for one tenant
+// count under one scheduler. Every draw comes from the job's forked
+// seed, so cells are deterministic at any pool width.
+func RunScaleCell(o Options, tenants int, sched Sched) ScaleResult {
+	rng := sim.NewRNG(o.Seed)
+	res := ScaleResult{Tenants: tenants, Sched: sched}
+
+	// One pass visits every tenant once in expectation; the measurement
+	// window scales passes so full runs sweep the population harder.
+	// Requests scale with tenants x passes while registrations scale
+	// with tenants, which is what keeps allocs/request flat across the
+	// sweep — the table's sub-linearity signal.
+	passes := int(o.Measure / (200 * time.Millisecond))
+	if passes < 1 {
+		passes = 1
+	}
+	if passes > 10 {
+		passes = 10
+	}
+	working := scaleWorkingSet
+	if working > tenants {
+		working = tenants
+	}
+	cycles := (tenants + working - 1) / working * passes
+
+	weight := func(i int) float64 { return float64(int(1) << (i % 3)) } // {1,2,4}
+	est := func(i int) sim.Duration { return sim.Duration(1+i%7) * 100 * time.Microsecond }
+
+	switch sched {
+	case TS:
+		// Timeslice tokens: every working-set member gets an equal slice
+		// of the window. No virtual time, no cross-device fairness — the
+		// baseline whose bookkeeping is trivially O(working set).
+		tokens := make([]core.Work, tenants)
+		allocs := int64(1) // the token slab
+		slice := core.WorkFor(scaleWindow, 1) / core.Work(working)
+		for c := 0; c < cycles; c++ {
+			for d := 0; d < scaleDevices; d++ {
+				for k := 0; k < working; k++ {
+					tokens[rng.Intn(tenants)] += slice
+					res.Requests++
+				}
+			}
+		}
+		res.Cycles = cycles
+		res.AllocsPerReq = float64(allocs+int64(tenants)) / float64(res.Requests)
+	case DFQ:
+		res = runScaleDFQ(res, rng, tenants, working, cycles, weight, est)
+	default:
+		panic(fmt.Sprintf("exp: scale does not model scheduler %q", sched))
+	}
+	res.ReqPerSec = float64(res.Requests) /
+		(sim.Duration(res.Cycles) * scaleWindow).Seconds()
+	return res
+}
+
+// runScaleDFQ is the DFQ arm: per-device ledgers, a sharded board, and
+// the paper's charge/advance/deny cycle over a rolling active set.
+func runScaleDFQ(res ScaleResult, rng *sim.RNG, tenants, working, cycles int,
+	weight func(int) float64, est func(int) sim.Duration) ScaleResult {
+	board := fleet.NewBoardWith(0, 1)
+	board.Grow(tenants)
+	names := make([]string, tenants)
+	nameIdx := make(map[string]int, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+		nameIdx[names[i]] = i
+	}
+
+	type device struct {
+		name       string
+		ledger     core.DFQLedger
+		ids        []core.FlowID
+		lastPicked []int32 // cycle a tenant was last engaged on this device
+		expire     [][]int // ring of past working sets, for idling out
+	}
+	devs := make([]*device, scaleDevices)
+	for d := range devs {
+		dev := &device{
+			name:       fmt.Sprintf("dev%d", d),
+			ledger:     core.NewDFQLedger(core.DefaultDFQLedger),
+			ids:        make([]core.FlowID, tenants),
+			lastPicked: make([]int32, tenants),
+			expire:     make([][]int, scaleActiveCycles),
+		}
+		dev.ledger.Grow(tenants)
+		for i := range dev.ids {
+			dev.ids[i] = dev.ledger.Add()
+			dev.lastPicked[i] = -1
+		}
+		devs[d] = dev
+	}
+
+	windowW := core.WorkFor(scaleWindow, 1)
+	freeRunW := core.WorkFor(scaleFreeRun, 1)
+	// The weighted fleet lead bound: once a tenant's lead crosses the
+	// free-run horizon it is denied on every device, so the overshoot is
+	// at most one more cycle of charges from each device, each at most
+	// window/weight (and the minimum weight here is 1).
+	bound := freeRunW + core.Work(scaleDevices)*windowW
+
+	denied := make([]bool, tenants)
+	picks := make([]int, 0, working)
+	var maxLead core.Work
+
+	for c := 0; c < cycles; c++ {
+		for _, dev := range devs {
+			// Engage this cycle's working set (duplicates collapse; the
+			// ledger's SetActive is a no-op on an already-active flow).
+			picks = picks[:0]
+			var estSum sim.Duration
+			for k := 0; k < working; k++ {
+				i := rng.Intn(tenants)
+				picks = append(picks, i)
+				dev.ledger.SetActive(dev.ids[i], true)
+				dev.lastPicked[i] = int32(c)
+				if !denied[i] {
+					estSum += est(i)
+				}
+			}
+
+			// Charge granted tenants their estimated share of the window,
+			// weighted — the arithmetic of maintainVirtualTime.
+			charges := make(map[string]core.Work, len(picks))
+			activeNames := make(map[string]bool, len(picks))
+			for _, i := range picks {
+				activeNames[names[i]] = true
+				if denied[i] || estSum == 0 {
+					continue
+				}
+				delta := core.PerWeight(
+					core.WorkFor(sim.Duration(float64(scaleWindow)*float64(est(i))/float64(estSum)), 1),
+					weight(i))
+				dev.ledger.Charge(dev.ids[i], delta)
+				charges[names[i]] += delta
+				res.Requests++
+			}
+
+			// Tenants unseen for scaleActiveCycles cycles idle out and
+			// forfeit unused credit, locally and on the board.
+			slot := c % scaleActiveCycles
+			for _, i := range dev.expire[slot] {
+				if dev.lastPicked[i] <= int32(c-scaleActiveCycles) {
+					dev.ledger.SetActive(dev.ids[i], false)
+					if !activeNames[names[i]] {
+						activeNames[names[i]] = false
+					}
+				}
+			}
+			dev.expire[slot] = append(dev.expire[slot][:0], picks...)
+
+			dev.ledger.AdvanceSysVT()
+			leads := board.ReconcileEpisode(dev.name, charges, activeNames)
+			for name, lead := range leads {
+				if lead > maxLead {
+					maxLead = lead
+				}
+				denied[nameIdx[name]] = lead >= freeRunW
+			}
+		}
+
+		// Churn: retire and re-register a few tenants so slot recycling
+		// and stale-handle rejection stay on the measured path.
+		if (c+1)%scaleChurnEvery == 0 {
+			for k := 0; k < scaleChurnCount; k++ {
+				i := rng.Intn(tenants)
+				for _, dev := range devs {
+					dev.ledger.Remove(dev.ids[i])
+					dev.ids[i] = dev.ledger.Add()
+					dev.lastPicked[i] = -1
+				}
+				denied[i] = false
+			}
+		}
+	}
+
+	var allocs int64
+	for _, dev := range devs {
+		allocs += dev.ledger.StructuralAllocs()
+	}
+	res.Cycles = cycles
+	if res.Requests > 0 {
+		res.AllocsPerReq = float64(allocs) / float64(res.Requests)
+	}
+	res.BoundRatio = float64(maxLead) / float64(bound)
+	res.InBound = maxLead <= bound
+	return res
+}
+
+// ScaleExp sweeps tenant count x scheduler, every cell an independent
+// job on the worker pool.
+func ScaleExp(opts Options) *report.Table {
+	type cell struct {
+		tenants int
+		sched   Sched
+	}
+	var cells []cell
+	for _, n := range opts.ScaleTenants() {
+		for _, s := range ScaleScheds() {
+			cells = append(cells, cell{n, s})
+		}
+	}
+	jobs := make([]Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = NewJob("scale", i,
+			fmt.Sprintf("%d tenants, %s", c.tenants, c.sched),
+			func(o Options) any { return RunScaleCell(o, c.tenants, c.sched) })
+	}
+
+	t := report.New("Scale: indexed fair queueing, 10^2..10^5 tenants (synthetic engagement cycles, 2 devices)",
+		"tenants", "sched", "cycles", "requests", "req/s(sim)", "allocs/req", "bound")
+	for _, r := range RunJobs(opts, jobs) {
+		res := r.Value.(ScaleResult)
+		bound := "-"
+		if res.Sched == DFQ {
+			verdict := "ok"
+			if !res.InBound {
+				verdict = "VIOL"
+			}
+			bound = fmt.Sprintf("%s %.2f", verdict, res.BoundRatio)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", res.Tenants),
+			string(res.Sched),
+			fmt.Sprintf("%d", res.Cycles),
+			fmt.Sprintf("%d", res.Requests),
+			report.F(res.ReqPerSec, 0),
+			report.F(res.AllocsPerReq, 3),
+			bound,
+		)
+	}
+	t.AddNote("each cycle engages a %d-tenant working set per device; idle tenants must cost nothing, so allocs/req staying flat across 10^2..10^5 tenants is the sub-linear claim", scaleWorkingSet)
+	t.AddNote("allocs/req counts deterministic structural allocations (flow registrations + slab/heap growth), not runtime allocations — those are gated in BENCH_7.json (BenchmarkDFQCycleTenants*)")
+	t.AddNote("bound is worst fleet-wide lead over the weighted bound freeRun + devices x window/minWeight; ts has no virtual-time ledger to bound")
+	return t
+}

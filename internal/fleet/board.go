@@ -1,6 +1,9 @@
 package fleet
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"repro/internal/core"
 )
 
@@ -27,26 +30,98 @@ import (
 // compares unlike units; that is the failure mode the hetero experiment
 // demonstrates.)
 //
+// Internally the board is sharded for tenant scale: principals live in
+// a flat slab, hashed over per-shard min-VT heaps that order only the
+// *fleet-active* principals, so one episode costs O(charges·log
+// active/shards + shards) instead of a scan over every principal the
+// fleet has ever seen, and fleet-idle principals cost nothing (their
+// forfeit-unused-credit clamp is applied lazily, which is observably
+// identical because the system virtual time only moves forward; see
+// DESIGN.md §12). The fold that advances the system virtual time can be
+// batched: with Epoch e > 1 it runs every e-th episode, so the
+// between-fold system virtual time is a stale *under*-estimate, leads
+// are *over*-estimates, and denial stays conservative — a tenant's true
+// fleet-wide lead can exceed the single-episode bound by at most the
+// work charged within one epoch (TestBoardEpochLeadBound pins this).
+// The default epoch of 1 reproduces per-episode reconciliation exactly.
+//
 // Every operation the board performs is commutative across principals
 // (sums, set membership, a minimum), so results do not depend on map
 // iteration order and the simulation stays deterministic.
 type Board struct {
-	vt       map[string]core.Work
-	activeOn map[string]map[string]bool
-	order    []string
-	sysVT    core.Work
+	byName map[string]uint32
+	slab   []principal
+	shards []boardShard
+	order  []uint32
+	sysVT  core.Work
 
-	// Episodes counts reconciliations, for tests.
+	epoch     int // episodes per system-virtual-time fold
+	sinceFold int
+
+	// Episodes counts reconciliations, for tests. Folds counts the
+	// system-virtual-time advances actually performed (== Episodes when
+	// the epoch is 1).
 	Episodes int64
+	Folds    int64
 }
 
-// NewBoard returns an empty fleet-wide virtual-time board.
-func NewBoard() *Board {
+// principal is one tenant's slot in the board slab: compact fixed-size
+// state, no per-principal allocation beyond the device set.
+type principal struct {
+	name     string
+	vt       core.Work
+	activeOn map[string]bool
+	shard    uint32
+	heapPos  int32 // position in its shard's heap, or boardIdle
+}
+
+// boardIdle marks a principal outside its shard heap (fleet-idle).
+const boardIdle int32 = -1
+
+// boardShard is one shard's min-VT heap over fleet-active principals,
+// ordered by (vt, slab index) so the fold is reproducible.
+type boardShard struct {
+	heap []uint32
+}
+
+// DefaultBoardShards is the shard count NewBoard uses. Shards bound the
+// per-fold cost (one heap head each) and spread heap maintenance;
+// a handful suffices until populations reach the scale experiment's.
+const DefaultBoardShards = 8
+
+// NewBoard returns an empty fleet-wide virtual-time board with the
+// default shard count and per-episode (epoch 1) reconciliation.
+func NewBoard() *Board { return NewBoardWith(DefaultBoardShards, 1) }
+
+// NewBoardWith returns a board with the given shard count and fold
+// epoch. shards <= 0 takes DefaultBoardShards; epoch <= 0 takes 1
+// (fold every episode — the exact per-episode semantics).
+func NewBoardWith(shards, epoch int) *Board {
+	if shards <= 0 {
+		shards = DefaultBoardShards
+	}
+	if epoch <= 0 {
+		epoch = 1
+	}
 	return &Board{
-		vt:       make(map[string]core.Work),
-		activeOn: make(map[string]map[string]bool),
+		byName: make(map[string]uint32),
+		shards: make([]boardShard, shards),
+		epoch:  epoch,
 	}
 }
+
+// Grow pre-allocates principal capacity, so a known population (the
+// scale experiment's) registers without a doubling cascade.
+func (b *Board) Grow(n int) {
+	if cap(b.slab) < n {
+		slab := make([]principal, len(b.slab), n)
+		copy(slab, b.slab)
+		b.slab = slab
+	}
+}
+
+// Epoch returns the fold epoch the board was built with.
+func (b *Board) Epoch() int { return b.epoch }
 
 // ReconcileEpisode implements core.FleetVT. charges is the estimated
 // normalized work the reporting device attributed to each principal
@@ -61,67 +136,153 @@ func (b *Board) ReconcileEpisode(device string, charges map[string]core.Work,
 	b.Episodes++
 
 	for name, c := range charges {
-		b.ensure(name)
-		b.vt[name] += c
+		b.charge(b.ensure(name), c)
 	}
 	for name, a := range active {
-		b.ensure(name)
+		i := b.ensure(name)
+		p := &b.slab[i]
 		if a {
-			b.activeOn[name][device] = true
+			p.activeOn[device] = true
+			b.activate(i)
 		} else {
-			delete(b.activeOn[name], device)
+			delete(p.activeOn, device)
+			if len(p.activeOn) == 0 {
+				b.deactivate(i)
+			}
 		}
 	}
 
 	// The fleet system virtual time is the oldest virtual time among
-	// principals active anywhere; it only moves forward.
+	// principals active anywhere; it only moves forward. With an epoch
+	// above 1 the fold is batched: between folds the system virtual time
+	// is a stale under-estimate, so every lead reported below is an
+	// over-estimate and denial errs toward fairness.
+	if b.sinceFold++; b.sinceFold >= b.epoch {
+		b.sinceFold = 0
+		b.fold()
+	}
+
+	leads := make(map[string]core.Work, len(active)+len(charges))
+	for name := range active {
+		leads[name] = b.vtOf(b.byName[name]) - b.sysVT
+	}
+	for name := range charges {
+		leads[name] = b.vtOf(b.byName[name]) - b.sysVT
+	}
+	return leads
+}
+
+// fold advances the system virtual time to the minimum virtual time
+// among fleet-active principals: the min over shard heap heads,
+// O(shards) instead of O(principals).
+func (b *Board) fold() {
+	b.Folds++
 	first := true
 	var minVT core.Work
-	for _, name := range b.order {
-		if len(b.activeOn[name]) == 0 {
+	for s := range b.shards {
+		h := b.shards[s].heap
+		if len(h) == 0 {
 			continue
 		}
-		if first || b.vt[name] < minVT {
-			minVT = b.vt[name]
+		if vt := b.slab[h[0]].vt; first || vt < minVT {
+			minVT = vt
 			first = false
 		}
 	}
 	if !first && minVT > b.sysVT {
 		b.sysVT = minVT
 	}
+}
 
-	// Fleet-idle principals forfeit unused credit, as in single-device
-	// DFQ: returning after a lull must not grant a burst of back service.
-	for _, name := range b.order {
-		if len(b.activeOn[name]) == 0 && b.vt[name] < b.sysVT {
-			b.vt[name] = b.sysVT
-		}
+// charge advances a principal's virtual time. A fleet-idle principal
+// first forfeits unused credit up to the system virtual time — the
+// moment the old per-episode scan would have caught it up.
+func (b *Board) charge(i uint32, c core.Work) {
+	p := &b.slab[i]
+	if p.heapPos == boardIdle && p.vt < b.sysVT {
+		p.vt = b.sysVT
 	}
+	p.vt += c
+	if p.heapPos != boardIdle && c > 0 {
+		b.shards[p.shard].heapDown(b, int(p.heapPos))
+	}
+}
 
-	leads := make(map[string]core.Work, len(active)+len(charges))
-	for name := range active {
-		leads[name] = b.vt[name] - b.sysVT
+// vtOf returns a principal's virtual time with the idle forfeit applied
+// lazily: the system virtual time only moves forward, so clamping at
+// read time yields the same value the per-episode eager clamp would
+// have written.
+func (b *Board) vtOf(i uint32) core.Work {
+	p := &b.slab[i]
+	if p.heapPos == boardIdle && p.vt < b.sysVT {
+		return b.sysVT
 	}
-	for name := range charges {
-		leads[name] = b.vt[name] - b.sysVT
+	return p.vt
+}
+
+// activate pushes a principal into its shard heap if it is not there,
+// forfeiting unused credit first (an idle stretch must not bank
+// service).
+func (b *Board) activate(i uint32) {
+	p := &b.slab[i]
+	if p.heapPos != boardIdle {
+		return
 	}
-	return leads
+	if p.vt < b.sysVT {
+		p.vt = b.sysVT
+	}
+	b.shards[p.shard].push(b, i)
+}
+
+// deactivate removes a fleet-idle principal from its shard heap. A
+// heap slot that does not hold the principal it claims means the
+// shard's accounting has been corrupted — the fairness ledger would
+// silently rot — so it panics with the tenant's name, like the
+// in-flight underflow panics on Fleet.
+func (b *Board) deactivate(i uint32) {
+	p := &b.slab[i]
+	if p.heapPos == boardIdle {
+		return
+	}
+	sh := &b.shards[p.shard]
+	if int(p.heapPos) >= len(sh.heap) || sh.heap[p.heapPos] != i {
+		panic(fmt.Sprintf("fleet: board shard %d accounting underflow for tenant %q",
+			p.shard, p.name))
+	}
+	sh.delete(b, int(p.heapPos))
 }
 
 // ensure registers a principal, starting it at the fleet system virtual
-// time — the same late-joiner rule as single-device DFQ.
-func (b *Board) ensure(name string) {
-	if _, ok := b.vt[name]; ok {
-		return
+// time — the same late-joiner rule as single-device DFQ — and returns
+// its slab index.
+func (b *Board) ensure(name string) uint32 {
+	if i, ok := b.byName[name]; ok {
+		return i
 	}
-	b.vt[name] = b.sysVT
-	b.activeOn[name] = make(map[string]bool)
-	b.order = append(b.order, name)
+	i := uint32(len(b.slab))
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	b.slab = append(b.slab, principal{
+		name:     name,
+		vt:       b.sysVT,
+		activeOn: make(map[string]bool),
+		shard:    h.Sum32() % uint32(len(b.shards)),
+		heapPos:  boardIdle,
+	})
+	b.byName[name] = i
+	b.order = append(b.order, i)
+	return i
 }
 
 // VirtualTime returns the principal's fleet-wide virtual time in
 // normalized work, for tests and reports.
-func (b *Board) VirtualTime(name string) core.Work { return b.vt[name] }
+func (b *Board) VirtualTime(name string) core.Work {
+	i, ok := b.byName[name]
+	if !ok {
+		return 0
+	}
+	return b.vtOf(i)
+}
 
 // SystemVirtualTime returns the fleet-wide system virtual time in
 // normalized work.
@@ -129,4 +290,86 @@ func (b *Board) SystemVirtualTime() core.Work { return b.sysVT }
 
 // Principals returns every principal the board has seen, in first-
 // appearance order.
-func (b *Board) Principals() []string { return append([]string(nil), b.order...) }
+func (b *Board) Principals() []string {
+	out := make([]string, len(b.order))
+	for j, i := range b.order {
+		out[j] = b.slab[i].name
+	}
+	return out
+}
+
+// ActiveLen returns the number of fleet-active principals, for tests.
+func (b *Board) ActiveLen() int {
+	n := 0
+	for s := range b.shards {
+		n += len(b.shards[s].heap)
+	}
+	return n
+}
+
+// The shard heaps: binary min-heaps of slab indexes ordered by
+// (vt, slab index), positions written back through Board.slab.
+
+func (b *Board) boardLess(x, y uint32) bool {
+	px, py := &b.slab[x], &b.slab[y]
+	if px.vt != py.vt {
+		return px.vt < py.vt
+	}
+	return x < y
+}
+
+func (s *boardShard) push(b *Board, i uint32) {
+	s.heap = append(s.heap, i)
+	b.slab[i].heapPos = int32(len(s.heap) - 1)
+	s.heapUp(b, len(s.heap)-1)
+}
+
+func (s *boardShard) delete(b *Board, pos int) {
+	last := len(s.heap) - 1
+	moved := s.heap[last]
+	removed := s.heap[pos]
+	s.heap[pos] = moved
+	s.heap = s.heap[:last]
+	b.slab[removed].heapPos = boardIdle
+	if pos < last {
+		b.slab[moved].heapPos = int32(pos)
+		s.heapDown(b, pos)
+		s.heapUp(b, int(b.slab[moved].heapPos))
+	}
+}
+
+func (s *boardShard) heapUp(b *Board, pos int) {
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !b.boardLess(s.heap[pos], s.heap[parent]) {
+			return
+		}
+		s.swap(b, pos, parent)
+		pos = parent
+	}
+}
+
+func (s *boardShard) heapDown(b *Board, pos int) {
+	n := len(s.heap)
+	for {
+		l := 2*pos + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && b.boardLess(s.heap[r], s.heap[l]) {
+			min = r
+		}
+		if !b.boardLess(s.heap[min], s.heap[pos]) {
+			return
+		}
+		s.swap(b, pos, min)
+		pos = min
+	}
+}
+
+func (s *boardShard) swap(b *Board, x, y int) {
+	s.heap[x], s.heap[y] = s.heap[y], s.heap[x]
+	b.slab[s.heap[x]].heapPos = int32(x)
+	b.slab[s.heap[y]].heapPos = int32(y)
+}

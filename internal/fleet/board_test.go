@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -117,6 +118,135 @@ func TestBoardHeterogeneousCharges(t *testing.T) {
 	if va, vb := raw.VirtualTime("A"), raw.VirtualTime("B"); va != 4*vb {
 		t.Fatalf("raw charges should overcharge the slow-device tenant 4:1, got A=%v B=%v", va, vb)
 	}
+}
+
+// TestBoardEpochLeadBound pins the epoch-batching contract: against a
+// per-episode board on an identical charge stream, a batched board's
+// reported leads are never lower (denial stays conservative — the stale
+// system virtual time is an under-estimate), and never exceed the
+// per-episode lead by more than the total work charged since the
+// batched board's last fold. Every principal stays fleet-active so the
+// only divergence source is the fold cadence itself.
+func TestBoardEpochLeadBound(t *testing.T) {
+	const epoch = 4
+	b1 := NewBoardWith(8, 1)
+	be := NewBoardWith(8, epoch)
+	rng := sim.NewRNG(sim.StreamSeed(1, "board-epoch-bound", 0))
+
+	names := []string{"A", "B", "C", "D", "E"}
+	var sinceFold core.Work
+	for ep := 0; ep < 200; ep++ {
+		charges := map[string]core.Work{}
+		active := map[string]bool{}
+		var total core.Work
+		for j, n := range names {
+			// Skewed rates keep a genuine leader and a laggard.
+			c := wms(1+rng.Intn(3*(j+1))) / 4
+			charges[n] = c
+			active[n] = true
+			total += c
+		}
+		dev := "dev" + string(rune('0'+ep%2))
+		foldsBefore := be.Folds
+		l1 := b1.ReconcileEpisode(dev, charges, active)
+		le := be.ReconcileEpisode(dev, charges, active)
+		if be.Folds > foldsBefore {
+			sinceFold = 0
+		} else {
+			sinceFold += total
+		}
+		for _, n := range names {
+			if le[n] < l1[n] {
+				t.Fatalf("episode %d: batched lead for %s = %v below per-episode lead %v; denial no longer conservative",
+					ep, n, le[n], l1[n])
+			}
+			if over := le[n] - l1[n]; over > sinceFold {
+				t.Fatalf("episode %d: batched lead for %s over-estimates by %v, more than the %v charged since the last fold",
+					ep, n, over, sinceFold)
+			}
+		}
+	}
+	if want := int64(200 / epoch); be.Folds != want {
+		t.Fatalf("batched board folded %d times over 200 episodes, want %d (epoch %d)", be.Folds, want, epoch)
+	}
+	if b1.Folds != b1.Episodes {
+		t.Fatalf("per-episode board must fold every episode: %d folds, %d episodes", b1.Folds, b1.Episodes)
+	}
+}
+
+// TestBoardShardCountInvariance reruns one randomized reconciliation
+// stream on boards with 1, 3, and 16 shards and requires identical
+// virtual times, system virtual time, and reported leads: sharding is a
+// cost structure, never a semantics knob.
+func TestBoardShardCountInvariance(t *testing.T) {
+	run := func(shards int) (*Board, []map[string]core.Work) {
+		b := NewBoardWith(shards, 1)
+		rng := sim.NewRNG(sim.StreamSeed(1, "board-shard-invariance", 0))
+		names := make([]string, 40)
+		for i := range names {
+			names[i] = "tenant-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		var all []map[string]core.Work
+		for ep := 0; ep < 120; ep++ {
+			charges := map[string]core.Work{}
+			active := map[string]bool{}
+			for k := 0; k < 12; k++ {
+				n := names[rng.Intn(len(names))]
+				charges[n] = wms(1 + rng.Intn(5))
+				active[n] = true
+			}
+			for k := 0; k < 4; k++ {
+				active[names[rng.Intn(len(names))]] = false
+			}
+			all = append(all, b.ReconcileEpisode("dev"+string(rune('0'+ep%3)), charges, active))
+		}
+		return b, all
+	}
+
+	ref, refLeads := run(1)
+	for _, shards := range []int{3, 16} {
+		b, leads := run(shards)
+		if got, want := b.SystemVirtualTime(), ref.SystemVirtualTime(); got != want {
+			t.Fatalf("%d shards: sysVT = %v, want %v (1 shard)", shards, got, want)
+		}
+		for _, n := range ref.Principals() {
+			if got, want := b.VirtualTime(n), ref.VirtualTime(n); got != want {
+				t.Fatalf("%d shards: %s vt = %v, want %v (1 shard)", shards, n, got, want)
+			}
+		}
+		for ep := range refLeads {
+			for n, want := range refLeads[ep] {
+				if got := leads[ep][n]; got != want {
+					t.Fatalf("%d shards: episode %d lead for %s = %v, want %v (1 shard)", shards, ep, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBoardShardUnderflowPanic pins the corruption tripwire: a
+// deactivation that finds its shard heap slot not holding the principal
+// it claims must panic with the tenant's name rather than let the
+// fairness ledger rot silently.
+func TestBoardShardUnderflowPanic(t *testing.T) {
+	b := NewBoard()
+	b.ReconcileEpisode("dev0", map[string]core.Work{"victim": wms(3)},
+		map[string]bool{"victim": true})
+	// Corrupt the slab: point the principal at a heap slot that does not
+	// exist, as a lost heap write would.
+	b.slab[b.byName["victim"]].heapPos = 99
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deactivating a principal with corrupt shard accounting must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, `"victim"`) || !strings.Contains(msg, "underflow") {
+			t.Fatalf("panic %v must name the tenant and the underflow", r)
+		}
+	}()
+	b.ReconcileEpisode("dev0", nil, map[string]bool{"victim": false})
 }
 
 // TestFleetWideFairness pins the tentpole property: a principal drawing

@@ -52,8 +52,12 @@ type Node struct {
 	// inflight counts placed-but-unfinished work units on this node —
 	// tenant rounds for closed-loop tenants, individual requests for the
 	// open-loop serving layer. It is the queue depth placement policies
-	// compare and admission controllers bound.
+	// compare and admission controllers bound. All changes go through
+	// Fleet.addLoad so the placement load index stays ordered.
 	inflight int
+
+	// heapPos are the node's positions in the fleet's load-index heaps.
+	heapPos [nodeHeaps]int32
 
 	// busyAtReset snapshots the exec engine for utilization reporting.
 	busyAtReset sim.Duration
@@ -105,6 +109,14 @@ type Config struct {
 	// Seed feeds each tenant's deterministic jitter stream, forked by
 	// launch index so populations are order-independent.
 	Seed int64
+	// BoardShards and BoardEpoch size the fleet-wide virtual-time
+	// board: principals hash over BoardShards min-VT heaps, and the
+	// system-virtual-time fold runs every BoardEpoch-th episode (between
+	// folds leads are conservative over-estimates; see Board). Zero
+	// takes DefaultBoardShards and per-episode (epoch 1) folding — the
+	// exact pre-shard semantics.
+	BoardShards int
+	BoardEpoch  int
 }
 
 // Fleet is a set of device instances behind one placement interface.
@@ -113,6 +125,8 @@ type Fleet struct {
 	nodes   []*Node
 	policy  Policy
 	board   *Board
+	loads   *loadIndex
+	depth   int // fleet-wide in-flight total, kept incrementally
 	tenants []*Tenant
 	seed    int64
 
@@ -146,7 +160,12 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 		}
 		classes = append(classes, c)
 	}
-	f := &Fleet{eng: eng, policy: policy, board: NewBoard(), seed: cfg.Seed}
+	f := &Fleet{
+		eng:    eng,
+		policy: policy,
+		board:  NewBoardWith(cfg.BoardShards, cfg.BoardEpoch),
+		seed:   cfg.Seed,
+	}
 	for i := 0; i < cfg.Devices; i++ {
 		// Default only the unset GPU fields: a caller that sets, say,
 		// GraphicsPenalty but leaves MaxContexts zero must keep its
@@ -189,7 +208,16 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 		k.RequestRunLimit = cfg.RunLimit
 		f.nodes = append(f.nodes, &Node{Index: i, Class: class, Device: dev, Kernel: k, Sched: sched})
 	}
+	f.loads = newLoadIndex(f.nodes)
 	return f, nil
+}
+
+// addLoad changes a node's in-flight count, keeping the fleet-wide
+// total and the placement load index current.
+func (f *Fleet) addLoad(n *Node, delta int) {
+	n.inflight += delta
+	f.depth += delta
+	f.loads.fix(n)
 }
 
 // Engine returns the simulation engine the fleet runs on.
@@ -212,7 +240,7 @@ func (f *Fleet) Tenants() []*Tenant { return f.tenants }
 // loops call it before every round.
 func (f *Fleet) Place(t *Tenant) *Node {
 	n := f.policy.Pick(f, t)
-	n.inflight++
+	f.addLoad(n, 1)
 	f.Placements++
 	if t.last != nil && t.last != n {
 		f.Migrations++
@@ -225,7 +253,7 @@ func (f *Fleet) roundDone(n *Node) {
 	if n.inflight <= 0 {
 		panic(fmt.Sprintf("fleet: round retired on %s with none in flight", n.Device.Name()))
 	}
-	n.inflight--
+	f.addLoad(n, -1)
 }
 
 // PlaceRequest asks the placement policy for the device to serve one
@@ -237,7 +265,7 @@ func (f *Fleet) roundDone(n *Node) {
 // whether the request moved off that previous device.
 func (f *Fleet) PlaceRequest(t *Tenant) (n *Node, migrated bool) {
 	n = f.policy.Pick(f, t)
-	n.inflight++
+	f.addLoad(n, 1)
 	f.Placements++
 	if t.last != nil && t.last != n {
 		f.Migrations++
@@ -256,19 +284,15 @@ func (f *Fleet) RequestDone(n *Node) {
 	if n.inflight <= 0 {
 		panic(fmt.Sprintf("fleet: request retired on %s with none in flight", n.Device.Name()))
 	}
-	n.inflight--
+	f.addLoad(n, -1)
 }
 
 // QueueDepth returns the fleet-wide queue depth: work units placed and
 // not yet finished, summed over nodes. This is the congestion signal
-// front-door admission control bounds.
-func (f *Fleet) QueueDepth() int {
-	depth := 0
-	for _, n := range f.nodes {
-		depth += n.inflight
-	}
-	return depth
-}
+// front-door admission control bounds; it is maintained incrementally,
+// so the admission check that runs per arriving request is O(1) rather
+// than a node scan.
+func (f *Fleet) QueueDepth() int { return f.depth }
 
 // ResetStats clears tenant and fleet counters and re-baselines device
 // busy time (for warmup exclusion, like workload.App.ResetStats).

@@ -1,0 +1,180 @@
+package fleet
+
+// loadIndex keeps the fleet's nodes ordered by congestion so placement
+// policies answer in O(log nodes) (or O(classes)) instead of scanning
+// every node per placement — at fleet scale, placements happen once per
+// tenant round or request, so the old scans were a nodes×tenants cost
+// per wave. Two views are maintained incrementally on every in-flight
+// change:
+//
+//   - all: one min-heap over every node by (load, index) — the
+//     least-loaded query.
+//   - groups: per class-speed min-heaps by (load, index). Within one
+//     class the effective-throughput score speed/(load+1) is maximized
+//     exactly by the group's head, so the class-aware policies compare
+//     a handful of heads instead of every node.
+//
+// Both heaps order by (load, node index), so each head is the unique
+// minimum under a total order and every query reproduces the linear
+// scan's lowest-index tie-break exactly (the placement tests pin this
+// equivalence policy by policy).
+type loadIndex struct {
+	all    nodeHeap
+	groups []*classGroup
+}
+
+// classGroup is the heap of nodes sharing one class speed, in
+// first-appearance (node index) order of creation.
+type classGroup struct {
+	speed float64
+	nodes nodeHeap
+}
+
+// The two heap positions a node occupies (Node.heapPos slots).
+const (
+	heapAll = iota
+	heapClass
+	nodeHeaps
+)
+
+// newLoadIndex builds the index over the fleet's nodes.
+func newLoadIndex(nodes []*Node) *loadIndex {
+	x := &loadIndex{all: nodeHeap{slot: heapAll}}
+	for _, n := range nodes {
+		x.all.push(n)
+		var g *classGroup
+		for _, c := range x.groups {
+			if c.speed == n.Speed() {
+				g = c
+				break
+			}
+		}
+		if g == nil {
+			g = &classGroup{speed: n.Speed(), nodes: nodeHeap{slot: heapClass}}
+			x.groups = append(x.groups, g)
+		}
+		g.nodes.push(n)
+	}
+	return x
+}
+
+// fix restores both heap orders after n's load changed.
+func (x *loadIndex) fix(n *Node) {
+	x.all.fix(n)
+	for _, g := range x.groups {
+		if g.speed == n.Speed() {
+			g.nodes.fix(n)
+			return
+		}
+	}
+}
+
+// leastLoaded returns the node with the fewest work units in flight,
+// ties to the lowest index — the head of the class-blind heap.
+func (x *loadIndex) leastLoaded() *Node { return x.all.nodes[0] }
+
+// bestEffective returns the node with the highest effective throughput
+// (class speed over queue depth), ties to the lowest node index. Only
+// group heads can win within their class, so the argmax is over one
+// candidate per class.
+func (x *loadIndex) bestEffective() *Node {
+	var best *Node
+	var bestScore float64
+	for _, g := range x.groups {
+		n := g.nodes.nodes[0]
+		s := effectiveThroughput(n)
+		if best == nil || s > bestScore || (s == bestScore && n.Index < best.Index) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// upgradeFor returns the best node worth migrating warm state to: class
+// speed at least speedup times the warm node's, queue depth under
+// depth, highest effective throughput (ties to the lowest index), or
+// nil. The warm node's own class never clears a speedup bar above 1, so
+// warm needs no explicit exclusion.
+func (x *loadIndex) upgradeFor(warm *Node, depth int, speedup float64) *Node {
+	var best *Node
+	var bestScore float64
+	for _, g := range x.groups {
+		if g.speed < speedup*warm.Speed() {
+			continue
+		}
+		// The group head has the class's minimum load; if it misses the
+		// depth bound, every node of the class does.
+		n := g.nodes.nodes[0]
+		if n.Load() >= depth {
+			continue
+		}
+		s := effectiveThroughput(n)
+		if best == nil || s > bestScore || (s == bestScore && n.Index < best.Index) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// nodeHeap is a binary min-heap of nodes by (load, index) writing
+// positions into Node.heapPos[slot].
+type nodeHeap struct {
+	slot  int
+	nodes []*Node
+}
+
+func nodeLess(a, b *Node) bool {
+	if a.inflight != b.inflight {
+		return a.inflight < b.inflight
+	}
+	return a.Index < b.Index
+}
+
+func (h *nodeHeap) push(n *Node) {
+	h.nodes = append(h.nodes, n)
+	n.heapPos[h.slot] = int32(len(h.nodes) - 1)
+	h.up(len(h.nodes) - 1)
+}
+
+// fix restores order around a node whose load changed in place.
+func (h *nodeHeap) fix(n *Node) {
+	pos := int(n.heapPos[h.slot])
+	h.down(pos)
+	h.up(int(n.heapPos[h.slot]))
+}
+
+func (h *nodeHeap) up(pos int) {
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !nodeLess(h.nodes[pos], h.nodes[parent]) {
+			return
+		}
+		h.swap(pos, parent)
+		pos = parent
+	}
+}
+
+func (h *nodeHeap) down(pos int) {
+	n := len(h.nodes)
+	for {
+		l := 2*pos + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && nodeLess(h.nodes[r], h.nodes[l]) {
+			min = r
+		}
+		if !nodeLess(h.nodes[min], h.nodes[pos]) {
+			return
+		}
+		h.swap(pos, min)
+		pos = min
+	}
+}
+
+func (h *nodeHeap) swap(x, y int) {
+	h.nodes[x], h.nodes[y] = h.nodes[y], h.nodes[x]
+	h.nodes[x].heapPos[h.slot] = int32(x)
+	h.nodes[y].heapPos[h.slot] = int32(y)
+}

@@ -81,7 +81,9 @@ func (p *RoundRobin) Pick(f *Fleet, t *Tenant) *Node {
 
 // LeastLoaded places each round on the device with the fewest rounds in
 // flight. Ties break to the lowest device index — a deterministic rule,
-// so identical fleet states always place identically.
+// so identical fleet states always place identically. The pick reads
+// the fleet's load index head instead of scanning nodes, so one
+// placement is O(1) no matter the fleet size.
 type LeastLoaded struct{}
 
 // NewLeastLoaded returns the least-loaded placement policy.
@@ -92,13 +94,7 @@ func (*LeastLoaded) Name() string { return "least-loaded" }
 
 // Pick implements Policy.
 func (*LeastLoaded) Pick(f *Fleet, t *Tenant) *Node {
-	best := f.nodes[0]
-	for _, n := range f.nodes[1:] {
-		if n.Load() < best.Load() {
-			best = n
-		}
-	}
-	return best
+	return f.loads.leastLoaded()
 }
 
 // LocalitySticky returns a tenant to the device that holds its warm
@@ -149,16 +145,11 @@ func NewFastestFit() *FastestFit { return &FastestFit{} }
 // Name implements Policy.
 func (*FastestFit) Name() string { return "fastest-fit" }
 
-// Pick implements Policy.
+// Pick implements Policy. Within one class the effective-throughput
+// score is maximized by the least-loaded node, so the pick compares one
+// load-index head per class instead of scanning every node.
 func (*FastestFit) Pick(f *Fleet, t *Tenant) *Node {
-	best := f.nodes[0]
-	bestScore := effectiveThroughput(best)
-	for _, n := range f.nodes[1:] {
-		if s := effectiveThroughput(n); s > bestScore {
-			best, bestScore = n, s
-		}
-	}
-	return best
+	return f.loads.bestEffective()
 }
 
 // effectiveThroughput scores a node for FastestFit: the rate at which
@@ -216,16 +207,8 @@ func (p *ClassAwareSticky) Pick(f *Fleet, t *Tenant) *Node {
 // Speedup times the warm node's class speed, queue depth under the
 // stick threshold, and the highest effective throughput among such
 // candidates (ties to the lowest index). Nil when staying warm wins.
+// The candidate set is read off the per-class load-index heads —
+// Speedup above 1 means the warm node's own class never qualifies.
 func (p *ClassAwareSticky) upgrade(f *Fleet, warm *Node) *Node {
-	var best *Node
-	var bestScore float64
-	for _, n := range f.nodes {
-		if n == warm || n.Load() >= p.Depth || n.Speed() < p.Speedup*warm.Speed() {
-			continue
-		}
-		if s := effectiveThroughput(n); best == nil || s > bestScore {
-			best, bestScore = n, s
-		}
-	}
-	return best
+	return f.loads.upgradeFor(warm, p.Depth, p.Speedup)
 }

@@ -7,6 +7,13 @@ import (
 	"repro/internal/sim"
 )
 
+// setLoad forces a node's in-flight count through the fleet's load
+// accounting, so the placement index the policies consult stays
+// ordered — tests must not poke Node.inflight directly anymore.
+func (f *Fleet) setLoad(n *Node, v int) {
+	f.addLoad(n, v-n.inflight)
+}
+
 func testFleet(t *testing.T, devices int) *Fleet {
 	t.Helper()
 	f, err := New(sim.NewEngine(), Config{Devices: devices})
@@ -29,10 +36,10 @@ func TestRoundRobinCycles(t *testing.T) {
 
 func TestLeastLoadedPicksMinimum(t *testing.T) {
 	f := testFleet(t, 4)
-	f.nodes[0].inflight = 2
-	f.nodes[1].inflight = 1
-	f.nodes[2].inflight = 1
-	f.nodes[3].inflight = 3
+	f.setLoad(f.nodes[0], 2)
+	f.setLoad(f.nodes[1], 1)
+	f.setLoad(f.nodes[2], 1)
+	f.setLoad(f.nodes[3], 3)
 	p := NewLeastLoaded()
 	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 1 {
 		t.Fatalf("got node %d, want 1 (lowest index among minimum load)", got.Index)
@@ -57,14 +64,14 @@ func TestStickyThresholdBoundary(t *testing.T) {
 	tn := &Tenant{fleet: f, last: f.nodes[1]}
 
 	// One below the threshold: stick.
-	f.nodes[1].inflight = p.Depth - 1
+	f.setLoad(f.nodes[1], p.Depth-1)
 	if got := p.Pick(f, tn); got.Index != 1 {
 		t.Fatalf("load %d < depth %d: got node %d, want sticky node 1",
 			p.Depth-1, p.Depth, got.Index)
 	}
 
 	// Exactly at the threshold: spill to least-loaded.
-	f.nodes[1].inflight = p.Depth
+	f.setLoad(f.nodes[1], p.Depth)
 	if got := p.Pick(f, tn); got.Index != 0 {
 		t.Fatalf("load %d = depth %d: got node %d, want spill to node 0",
 			p.Depth, p.Depth, got.Index)
@@ -73,7 +80,7 @@ func TestStickyThresholdBoundary(t *testing.T) {
 
 func TestStickyFirstRoundSpills(t *testing.T) {
 	f := testFleet(t, 3)
-	f.nodes[0].inflight = 1
+	f.setLoad(f.nodes[0], 1)
 	p := NewLocalitySticky(3)
 	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 1 {
 		t.Fatalf("first round: got node %d, want least-loaded node 1", got.Index)
@@ -101,7 +108,7 @@ func TestFastestFitPrefersEffectiveThroughput(t *testing.T) {
 
 	// Queue the fast node until a slower, idler one serves sooner:
 	// nextgen at depth 3 scores 2.0/4 = 0.5, k20 idle scores 1.0.
-	f.nodes[2].inflight = 3
+	f.setLoad(f.nodes[2], 3)
 	if got := p.Pick(f, &Tenant{fleet: f}); got.Index != 1 {
 		t.Fatalf("congested nextgen: got node %d, want idle k20 node 1", got.Index)
 	}
@@ -115,9 +122,9 @@ func TestFastestFitPrefersEffectiveThroughput(t *testing.T) {
 
 func TestFastestFitHomogeneousIsLeastLoaded(t *testing.T) {
 	f := testFleet(t, 3)
-	f.nodes[0].inflight = 2
-	f.nodes[1].inflight = 1
-	f.nodes[2].inflight = 4
+	f.setLoad(f.nodes[0], 2)
+	f.setLoad(f.nodes[1], 1)
+	f.setLoad(f.nodes[2], 4)
 	ff := NewFastestFit()
 	ll := NewLeastLoaded()
 	if a, b := ff.Pick(f, &Tenant{fleet: f}), ll.Pick(f, &Tenant{fleet: f}); a != b {
@@ -143,20 +150,20 @@ func TestClassAwareStickyMigratesUpOnly(t *testing.T) {
 	}
 
 	// A congested upgrade target is not worth queueing for: stick.
-	f.nodes[2].inflight = p.Depth
+	f.setLoad(f.nodes[2], p.Depth)
 	if got := p.Pick(f, tn); got.Index != 1 {
 		t.Fatalf("congested upgrade: got node %d, want warm node 1", got.Index)
 	}
 
 	// Warm on nextgen: nothing is 2x faster, stick.
-	f.nodes[2].inflight = 0
+	f.setLoad(f.nodes[2], 0)
 	tn.last = f.nodes[2]
 	if got := p.Pick(f, tn); got.Index != 2 {
 		t.Fatalf("warm nextgen: got node %d, want warm node 2", got.Index)
 	}
 
 	// Congested warm node spills by effective throughput.
-	f.nodes[2].inflight = p.Depth
+	f.setLoad(f.nodes[2], p.Depth)
 	if got := p.Pick(f, tn); got.Index != 1 {
 		t.Fatalf("spill: got node %d, want k20 node 1", got.Index)
 	}
@@ -168,11 +175,11 @@ func TestClassAwareStickyHomogeneousSticks(t *testing.T) {
 	f := testFleet(t, 2)
 	p := NewClassAwareSticky(3, 2.0)
 	tn := &Tenant{fleet: f, last: f.nodes[1]}
-	f.nodes[1].inflight = p.Depth - 1
+	f.setLoad(f.nodes[1], p.Depth-1)
 	if got := p.Pick(f, tn); got.Index != 1 {
 		t.Fatalf("got node %d, want sticky node 1", got.Index)
 	}
-	f.nodes[1].inflight = p.Depth
+	f.setLoad(f.nodes[1], p.Depth)
 	if got := p.Pick(f, tn); got.Index != 0 {
 		t.Fatalf("got node %d, want spill node 0", got.Index)
 	}

@@ -229,38 +229,39 @@ func BenchmarkDFQCycleTenants1e5(b *testing.B) { benchDFQCycleTenants(b, 100_000
 
 // BenchmarkBoardReconcile measures one fleet reconciliation episode on
 // a board already holding 10^4 registered, fleet-active principals: 64
-// charges plus activity marks folded into the sharded ledger, leads
-// handed back. The episode's cost tracks its own size (charges, shard
-// heads), not the registered population.
+// charges plus activity marks folded into the sharded ledger through
+// the batch exchange (the surface the per-device schedulers use), leads
+// written back in place. The episode's cost tracks its own size
+// (charges, shard heads), not the registered population — and the
+// reusable slice-of-struct batch makes the steady state allocation-free
+// where the old map-keyed exchange allocated both maps and the lead map
+// every episode.
 func BenchmarkBoardReconcile(b *testing.B) {
 	b.ReportAllocs()
 	const principals = 10_000
 	board := fleet.NewBoard()
 	board.Grow(principals)
-	names := make([]string, principals)
-	reg := make(map[string]bool, principals)
-	for i := range names {
-		names[i] = fmt.Sprintf("tenant-%06d", i)
-		reg[names[i]] = true
+	pids := make([]core.PrincipalID, principals)
+	reg := make([]core.EpisodeEntry, principals)
+	for i := range pids {
+		pids[i] = board.Principal(fmt.Sprintf("tenant-%06d", i))
+		reg[i] = core.EpisodeEntry{Principal: pids[i], Marked: true, Active: true}
 	}
-	board.ReconcileEpisode("dev0", nil, reg)
+	board.ReconcileEpisodeBatch("dev0", reg)
 	rng := sim.NewRNG(1)
-	charges := make(map[string]core.Work, 64)
-	active := make(map[string]bool, 64)
+	batch := make([]core.EpisodeEntry, 0, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for n := range charges {
-			delete(charges, n)
-		}
-		for n := range active {
-			delete(active, n)
-		}
+		batch = batch[:0]
 		for k := 0; k < 64; k++ {
-			n := names[rng.Intn(principals)]
-			charges[n] = core.WorkFor(100*time.Microsecond, 1)
-			active[n] = true
+			batch = append(batch, core.EpisodeEntry{
+				Principal: pids[rng.Intn(principals)],
+				Charge:    core.WorkFor(100*time.Microsecond, 1),
+				Marked:    true,
+				Active:    true,
+			})
 		}
-		board.ReconcileEpisode("dev0", charges, active)
+		board.ReconcileEpisodeBatch("dev0", batch)
 	}
 }
 

@@ -80,7 +80,7 @@ func TestPerformanceDocCoversGateBenchmarks(t *testing.T) {
 		"BenchmarkSimEngine", "BenchmarkRequestPath", "BenchmarkDFQCycle",
 		"BenchmarkDFQCycleTenants", "BenchmarkBoardReconcile",
 		"cmd/benchjson", "quick.golden", "BENCH_6.json", "BENCH_7.json",
-		"DESIGN.md §11", "DESIGN.md §12",
+		"BENCH_8.json", "DESIGN.md §11", "DESIGN.md §12", "DESIGN.md §13",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("PERFORMANCE.md does not mention %s", want)
@@ -147,6 +147,31 @@ func TestDesignDocCoversScaleIndex(t *testing.T) {
 		"FuzzDFQIndexOps", "TestFlowIndexStaleHandles",
 		"TestBoardShardCountInvariance", "TestBoardEpochLeadBound",
 		"TestBoardShardUnderflowPanic", "BenchmarkDFQCycleTenants",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("DESIGN.md does not mention %s", want)
+		}
+	}
+}
+
+// TestDesignDocCoversMux pins DESIGN.md §13's anchor terms: the
+// virtual-context table's API surface, the graceful-detach seam, the
+// board batch types, and every test the section cites as evidence must
+// keep their names.
+func TestDesignDocCoversMux(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"## 13.", "neon.VContext", "Kernel.OpenVirtual", "MuxStats",
+		"gpu.Device.ReleaseContext", "gpu.Device.CompletionObserver",
+		"ContextSwitch", "ErrNoContexts",
+		"core.EpisodeEntry", "Board.ReconcileEpisodeBatch",
+		"TestMuxHostsStormPastContextCap", "TestMuxKillMidBacklogRecyclesSlot",
+		"TestMuxTightPoolStorm", "TestBoardEagerClampDifferential",
+		"BenchmarkBoardReconcile", "RunScaleFullCell",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("DESIGN.md does not mention %s", want)

@@ -36,17 +36,50 @@ type DFQConfig struct {
 	RawCharges bool
 }
 
+// PrincipalID is a fleet-wide principal handle: the stable uint32 slot
+// the exchange assigns to a task name the first time it is seen.
+// Schedulers resolve a name once (FleetVT.Principal) and report every
+// subsequent episode through the handle, so the steady-state exchange
+// moves no strings and allocates nothing.
+type PrincipalID uint32
+
+// EpisodeEntry is one principal's row in an episode batch. The reporter
+// fills Principal/Charge/Active/Marked; the exchange writes Lead back
+// in place.
+type EpisodeEntry struct {
+	// Principal is the handle from FleetVT.Principal.
+	Principal PrincipalID
+	// Charge is the weighted normalized work charged this episode (zero
+	// for active-but-denied or idle principals).
+	Charge Work
+	// Active reports whether the principal was backlogged at the
+	// barrier. Only meaningful when Marked is set.
+	Active bool
+	// Marked selects whether this entry updates the principal's
+	// activity state on the reporting device. Charge-only entries
+	// (Marked false) fold work without touching activity.
+	Marked bool
+	// Lead is filled by the exchange: the principal's fleet-wide
+	// virtual-time lead over the system virtual time after the episode.
+	Lead Work
+}
+
 // FleetVT is the fleet-wide virtual-time exchange of a multi-device
 // deployment. A per-device DisengagedFairQueueing instance reports, at
-// the end of each engagement episode, the estimated usage it charged
-// each principal (keyed by task name, the identity that is stable
-// across devices) and which principals were active at the barrier. The
+// the end of each engagement episode, one batch entry per principal
+// (keyed by the uint32 handle from Principal — task names, the identity
+// stable across devices, are interned once): the estimated usage it
+// charged and whether the principal was active at the barrier. The
 // exchange folds the charges into fleet-wide virtual times, advances
-// the fleet-wide system virtual time, and returns each reported
-// principal's lead over it. The scheduler denies the next free run to
+// the fleet-wide system virtual time, and writes each entry's lead over
+// it back into the batch. The scheduler denies the next free run to
 // principals whose lead reaches its free-run horizon — so a tenant
 // consuming on several devices at once is throttled everywhere, not
 // only where it happens to be sampled.
+//
+// The batch is a reusable slice owned by the reporter: the exchange
+// must not retain it past the call. Duplicate handles in one batch are
+// legal (charges sum, activity ORs across marked entries).
 //
 // All quantities are in weighted normalized Work, not device time: each
 // device scales its charges by its own class speed and divides by the
@@ -54,8 +87,11 @@ type DFQConfig struct {
 // compares like with like even when the fleet mixes generations and
 // tenants hold unequal contractual shares.
 type FleetVT interface {
-	ReconcileEpisode(device string, charges map[string]Work,
-		active map[string]bool) map[string]Work
+	// Principal interns a task name, returning its stable handle.
+	Principal(name string) PrincipalID
+	// ReconcileEpisodeBatch folds one device episode into the fleet
+	// virtual times and writes each entry's Lead in place.
+	ReconcileEpisodeBatch(device string, batch []EpisodeEntry)
 }
 
 // DefaultDFQConfig returns the paper's configuration.
@@ -97,6 +133,13 @@ type dfqTask struct {
 	sampledRequests int
 	// denied marks the task as excluded from the next free run.
 	denied bool
+	// pid is the fleet principal handle for the task's name, interned on
+	// first fleet report (valid only when pidSet).
+	pid    PrincipalID
+	pidSet bool
+	// charge is this episode's ledger charge, kept per task so the fleet
+	// report needs no per-episode map.
+	charge Work
 }
 
 // DisengagedFairQueueing is the paper's Section 3.3 scheduler: a fair
@@ -138,6 +181,12 @@ type DisengagedFairQueueing struct {
 	LeadViolations int64
 	maxFreeRun     Work
 	maxWindow      Work
+
+	// batch and batchIdx are the reusable fleet episode report: one
+	// entry per distinct principal, rebuilt in place every episode so
+	// the steady-state exchange allocates nothing.
+	batch    []EpisodeEntry
+	batchIdx map[PrincipalID]int32
 }
 
 // NewDisengagedFairQueueing returns the scheduler with the given
@@ -316,6 +365,12 @@ func (d *DisengagedFairQueueing) run(p *sim.Proc) {
 			if !issued && !s.activeAtBarrier {
 				continue // do not waste sampling time on idle tasks
 			}
+			if t.Virtualized() && len(t.Channels()) == 0 {
+				// Detached logical context: no hardware channels exist to
+				// intercept, so a sampling run could observe nothing. The
+				// completion bookkeeping above still advanced.
+				continue
+			}
 			sampledCount++
 			want := d.cfg.SampleRequests
 			if len(t.Channels()) > 1 {
@@ -392,6 +447,7 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	minWeight := 1.0
 	for _, t := range d.k.Tasks() {
 		s := d.state(t)
+		s.charge = 0
 		d.ledger.SetActive(s.flow, s.activeAtBarrier)
 		if s.activeAtBarrier {
 			active = append(active, t)
@@ -408,7 +464,6 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	// Step 1: advance each running task's virtual time by its estimated
 	// share of the elapsed interval, normalized to work units and scaled
 	// down by its weight.
-	charges := make(map[*neon.Task]Work, len(charged))
 	if estSum > 0 {
 		for _, t := range charged {
 			s := d.st[t]
@@ -416,7 +471,7 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 				WorkFor(sim.Duration(float64(window)*float64(s.est)/float64(estSum)), speed),
 				t.ShareWeight())
 			d.ledger.Charge(s.flow, delta)
-			charges[t] = delta
+			s.charge = delta
 		}
 	}
 
@@ -459,18 +514,35 @@ func (d *DisengagedFairQueueing) maintainVirtualTime(window, freeRun sim.Duratio
 	// device's charges folded with every other device's — so a principal
 	// cannot gain extra shares by spreading across devices.
 	if d.cfg.Fleet != nil {
-		named := make(map[string]Work, len(charges))
-		for t, delta := range charges {
-			named[t.Name] += delta
+		// Build the reusable episode batch: one entry per distinct
+		// principal name (same-named tasks fold — charges sum, activity
+		// ORs), zero steady-state allocations.
+		if d.batchIdx == nil {
+			d.batchIdx = make(map[PrincipalID]int32)
 		}
-		activeNames := make(map[string]bool, len(d.st))
+		d.batch = d.batch[:0]
 		for _, t := range d.k.Tasks() {
-			activeNames[t.Name] = activeNames[t.Name] || d.state(t).activeAtBarrier
+			s := d.state(t)
+			if !s.pidSet {
+				s.pid = d.cfg.Fleet.Principal(t.Name)
+				s.pidSet = true
+			}
+			idx, ok := d.batchIdx[s.pid]
+			if !ok {
+				idx = int32(len(d.batch))
+				d.batch = append(d.batch, EpisodeEntry{Principal: s.pid, Marked: true})
+				d.batchIdx[s.pid] = idx
+			}
+			e := &d.batch[idx]
+			e.Charge += s.charge
+			e.Active = e.Active || s.activeAtBarrier
 		}
-		leads := d.cfg.Fleet.ReconcileEpisode(d.k.Label, named, activeNames)
+		d.cfg.Fleet.ReconcileEpisodeBatch(d.k.Label, d.batch)
 		for _, t := range d.k.Tasks() {
-			d.state(t).denied = leads[t.Name] >= freeRunW
+			s := d.state(t)
+			s.denied = d.batch[d.batchIdx[s.pid]].Lead >= freeRunW
 		}
+		clear(d.batchIdx)
 		return
 	}
 	for _, t := range d.k.Tasks() {

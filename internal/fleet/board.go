@@ -55,6 +55,12 @@ type Board struct {
 	order  []uint32
 	sysVT  core.Work
 
+	// devIdx interns reporting device names to bit positions in each
+	// principal's active-device mask. A board supports at most 64
+	// devices (boardMaxDevices); fleets are far smaller today and the
+	// mask keeps the principal slab pointer-free per device.
+	devIdx map[string]uint
+
 	epoch     int // episodes per system-virtual-time fold
 	sinceFold int
 
@@ -66,17 +72,23 @@ type Board struct {
 }
 
 // principal is one tenant's slot in the board slab: compact fixed-size
-// state, no per-principal allocation beyond the device set.
+// state with no per-principal allocations at all — the set of devices
+// the principal is active on is a bitmask over the board's interned
+// device indexes.
 type principal struct {
 	name     string
 	vt       core.Work
-	activeOn map[string]bool
+	activeOn uint64 // bitmask over Board.devIdx
 	shard    uint32
 	heapPos  int32 // position in its shard's heap, or boardIdle
 }
 
 // boardIdle marks a principal outside its shard heap (fleet-idle).
 const boardIdle int32 = -1
+
+// boardMaxDevices is the active-device mask width: the most reporting
+// devices one board supports.
+const boardMaxDevices = 64
 
 // boardShard is one shard's min-VT heap over fleet-active principals,
 // ordered by (vt, slab index) so the fold is reproducible.
@@ -105,6 +117,7 @@ func NewBoardWith(shards, epoch int) *Board {
 	}
 	return &Board{
 		byName: make(map[string]uint32),
+		devIdx: make(map[string]uint),
 		shards: make([]boardShard, shards),
 		epoch:  epoch,
 	}
@@ -123,31 +136,44 @@ func (b *Board) Grow(n int) {
 // Epoch returns the fold epoch the board was built with.
 func (b *Board) Epoch() int { return b.epoch }
 
-// ReconcileEpisode implements core.FleetVT. charges is the estimated
-// normalized work the reporting device attributed to each principal
-// this episode; active marks the principals with work pending there
-// (false explicitly clears the mark). The returned map holds, for every
-// principal in either argument, its reconciled lead over the fleet-wide
-// system virtual time; the reporting scheduler compares leads against
-// its own free-run horizon (converted to its work rate) to decide
-// denials.
-func (b *Board) ReconcileEpisode(device string, charges map[string]core.Work,
-	active map[string]bool) map[string]core.Work {
-	b.Episodes++
+// Principal implements core.FleetVT: it interns a tenant name,
+// registering the principal at the fleet system virtual time if unseen,
+// and returns its stable handle (the slab index).
+func (b *Board) Principal(name string) core.PrincipalID {
+	return core.PrincipalID(b.ensure(name))
+}
 
-	for name, c := range charges {
-		b.charge(b.ensure(name), c)
+// ReconcileEpisodeBatch implements core.FleetVT: one device episode as
+// a slice of per-principal entries keyed by handles from Principal.
+// Charges are folded first, then marked entries update the principal's
+// activity on the reporting device (Active false clears it), matching
+// the charge-then-(de)activate ordering the map form always had. Each
+// entry's Lead is written in place after the fold. The batch is the
+// caller's reusable buffer; the board does not retain it. The
+// steady-state path allocates nothing.
+func (b *Board) ReconcileEpisodeBatch(device string, batch []core.EpisodeEntry) {
+	b.Episodes++
+	dev := b.deviceBit(device)
+
+	for i := range batch {
+		if e := &batch[i]; e.Charge != 0 {
+			b.charge(uint32(e.Principal), e.Charge)
+		}
 	}
-	for name, a := range active {
-		i := b.ensure(name)
-		p := &b.slab[i]
-		if a {
-			p.activeOn[device] = true
-			b.activate(i)
+	for i := range batch {
+		e := &batch[i]
+		if !e.Marked {
+			continue
+		}
+		j := uint32(e.Principal)
+		p := &b.slab[j]
+		if e.Active {
+			p.activeOn |= dev
+			b.activate(j)
 		} else {
-			delete(p.activeOn, device)
-			if len(p.activeOn) == 0 {
-				b.deactivate(i)
+			p.activeOn &^= dev
+			if p.activeOn == 0 {
+				b.deactivate(j)
 			}
 		}
 	}
@@ -162,12 +188,54 @@ func (b *Board) ReconcileEpisode(device string, charges map[string]core.Work,
 		b.fold()
 	}
 
-	leads := make(map[string]core.Work, len(active)+len(charges))
-	for name := range active {
-		leads[name] = b.vtOf(b.byName[name]) - b.sysVT
+	for i := range batch {
+		e := &batch[i]
+		e.Lead = b.vtOf(uint32(e.Principal)) - b.sysVT
 	}
-	for name := range charges {
-		leads[name] = b.vtOf(b.byName[name]) - b.sysVT
+}
+
+// deviceBit interns a reporting device name to its mask bit.
+func (b *Board) deviceBit(device string) uint64 {
+	i, ok := b.devIdx[device]
+	if !ok {
+		i = uint(len(b.devIdx))
+		if i >= boardMaxDevices {
+			panic(fmt.Sprintf("fleet: board supports at most %d reporting devices", boardMaxDevices))
+		}
+		b.devIdx[device] = i
+	}
+	return 1 << i
+}
+
+// ReconcileEpisode is the map-keyed compatibility form of the exchange
+// (the original core.FleetVT surface, kept for tests and ad-hoc
+// callers; schedulers report through ReconcileEpisodeBatch). charges is
+// the estimated normalized work attributed to each principal this
+// episode; active marks the principals with work pending there (false
+// explicitly clears the mark). The returned map holds, for every
+// principal in either argument, its reconciled lead over the fleet-wide
+// system virtual time.
+func (b *Board) ReconcileEpisode(device string, charges map[string]core.Work,
+	active map[string]bool) map[string]core.Work {
+	batch := make([]core.EpisodeEntry, 0, len(charges)+len(active))
+	idx := make(map[string]int, len(charges)+len(active))
+	for name, c := range charges {
+		idx[name] = len(batch)
+		batch = append(batch, core.EpisodeEntry{Principal: b.Principal(name), Charge: c})
+	}
+	for name, a := range active {
+		if j, ok := idx[name]; ok {
+			batch[j].Marked = true
+			batch[j].Active = a
+			continue
+		}
+		idx[name] = len(batch)
+		batch = append(batch, core.EpisodeEntry{Principal: b.Principal(name), Marked: true, Active: a})
+	}
+	b.ReconcileEpisodeBatch(device, batch)
+	leads := make(map[string]core.Work, len(batch))
+	for name, j := range idx {
+		leads[name] = batch[j].Lead
 	}
 	return leads
 }
@@ -263,11 +331,10 @@ func (b *Board) ensure(name string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(name))
 	b.slab = append(b.slab, principal{
-		name:     name,
-		vt:       b.sysVT,
-		activeOn: make(map[string]bool),
-		shard:    h.Sum32() % uint32(len(b.shards)),
-		heapPos:  boardIdle,
+		name:    name,
+		vt:      b.sysVT,
+		shard:   h.Sum32() % uint32(len(b.shards)),
+		heapPos: boardIdle,
 	})
 	b.byName[name] = i
 	b.order = append(b.order, i)

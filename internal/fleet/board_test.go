@@ -295,3 +295,138 @@ func TestFleetWideFairness(t *testing.T) {
 		t.Fatalf("with reconciliation the wide principal should be near parity, got %.2fx", with)
 	}
 }
+
+// eagerBoard is the pre-shard reference semantics of the fleet
+// virtual-time exchange, written as directly as possible: flat maps, a
+// full scan per fold, and the idle forfeit applied *eagerly* to every
+// fleet-idle principal at the end of each episode — where the real
+// board clamps lazily at charge/activate/read time. It exists only for
+// the differential test below.
+type eagerBoard struct {
+	vt       map[string]core.Work
+	activeOn map[string]map[string]bool
+	sysVT    core.Work
+}
+
+func newEagerBoard() *eagerBoard {
+	return &eagerBoard{vt: map[string]core.Work{}, activeOn: map[string]map[string]bool{}}
+}
+
+func (e *eagerBoard) ensure(name string) {
+	if _, ok := e.vt[name]; !ok {
+		e.vt[name] = e.sysVT
+		e.activeOn[name] = map[string]bool{}
+	}
+}
+
+// episode mirrors ReconcileEpisode's contract: all charges land first,
+// then activity marks, then the fold, then the eager idle clamp, then
+// leads. Every step is commutative across principals, so map iteration
+// order cannot change the outcome.
+func (e *eagerBoard) episode(device string, charges map[string]core.Work,
+	active map[string]bool) map[string]core.Work {
+	for name := range charges {
+		e.ensure(name)
+	}
+	for name := range active {
+		e.ensure(name)
+	}
+	for name, c := range charges {
+		e.vt[name] += c
+	}
+	for name, a := range active {
+		if a {
+			e.activeOn[name][device] = true
+		} else {
+			delete(e.activeOn[name], device)
+		}
+	}
+	first := true
+	var min core.Work
+	for name, devs := range e.activeOn {
+		if len(devs) == 0 {
+			continue
+		}
+		if vt := e.vt[name]; first || vt < min {
+			min, first = vt, false
+		}
+	}
+	if !first && min > e.sysVT {
+		e.sysVT = min
+	}
+	for name, devs := range e.activeOn {
+		if len(devs) == 0 && e.vt[name] < e.sysVT {
+			e.vt[name] = e.sysVT
+		}
+	}
+	leads := make(map[string]core.Work)
+	for name := range charges {
+		leads[name] = e.vt[name] - e.sysVT
+	}
+	for name := range active {
+		leads[name] = e.vt[name] - e.sysVT
+	}
+	return leads
+}
+
+// TestBoardEagerClampDifferential pins ReconcileEpisode's same-episode
+// ordering against the eager-clamp reference: a principal charged and
+// deactivated in the *same* episode must keep the charge, leave the
+// active set, and forfeit down to the system virtual time only when it
+// later catches up — exactly what charges-before-marks plus the lazy
+// read clamp produce. The storm forces that case every episode (some
+// tenants appear in charges and in active=false simultaneously) across
+// three reporting devices, and the comparison covers every reported
+// lead, every principal's virtual time, and the system virtual time, at
+// shard counts 1 and 8.
+func TestBoardEagerClampDifferential(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		b := NewBoardWith(shards, 1)
+		ref := newEagerBoard()
+		rng := sim.NewRNG(sim.StreamSeed(2, "board-eager-differential", shards))
+		names := make([]string, 60)
+		for i := range names {
+			names[i] = "tenant-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		for ep := 0; ep < 300; ep++ {
+			charges := map[string]core.Work{}
+			active := map[string]bool{}
+			for k := 0; k < 10; k++ {
+				n := names[rng.Intn(len(names))]
+				charges[n] = wms(1 + rng.Intn(5))
+				active[n] = true
+			}
+			// The ordering under test: charge and deactivate at once.
+			for k := 0; k < 3; k++ {
+				n := names[rng.Intn(len(names))]
+				charges[n] = wms(1 + rng.Intn(5))
+				active[n] = false
+			}
+			// Plus plain departures with no same-episode charge.
+			for k := 0; k < 3; k++ {
+				active[names[rng.Intn(len(names))]] = false
+			}
+			dev := "dev" + string(rune('0'+ep%3))
+			got := b.ReconcileEpisode(dev, charges, active)
+			want := ref.episode(dev, charges, active)
+			if len(got) != len(want) {
+				t.Fatalf("shards %d, episode %d: %d leads reported, reference has %d",
+					shards, ep, len(got), len(want))
+			}
+			for n, w := range want {
+				if got[n] != w {
+					t.Fatalf("shards %d, episode %d: lead for %s = %v, reference %v",
+						shards, ep, n, got[n], w)
+				}
+			}
+			if got, want := b.SystemVirtualTime(), ref.sysVT; got != want {
+				t.Fatalf("shards %d, episode %d: sysVT = %v, reference %v", shards, ep, got, want)
+			}
+		}
+		for _, n := range b.Principals() {
+			if got, want := b.VirtualTime(n), ref.vt[n]; got != want {
+				t.Fatalf("shards %d: final vt for %s = %v, reference %v", shards, n, got, want)
+			}
+		}
+	}
+}

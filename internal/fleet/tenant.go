@@ -140,6 +140,11 @@ func (t *Tenant) Task(n *Node) *neon.Task { return t.tasks[n] }
 // paying the setup syscalls on first touch.
 func (t *Tenant) clientOn(p *sim.Proc, n *Node) (*userlib.Client, error) {
 	if c, ok := t.clients[n]; ok {
+		if !c.Task.Alive {
+			// Killed on this node: the logical handle is dead and round
+			// loops must stop rather than spin on nil submissions.
+			return nil, gpu.ErrContextDead
+		}
 		return c, nil
 	}
 	task := n.Kernel.NewTask(t.Spec.Name)
@@ -148,7 +153,10 @@ func (t *Tenant) clientOn(p *sim.Proc, n *Node) (*userlib.Client, error) {
 	if len(kinds) == 0 {
 		kinds = []gpu.Kind{gpu.Compute}
 	}
-	c, err := userlib.Open(p, n.Kernel, task, t.Spec.Name, kinds...)
+	// Logical (virtual-context) handle: the node's kernel multiplexes
+	// the device's fixed hardware-context pool underneath, so tenant
+	// populations are no longer capped by gpu.Config.MaxContexts.
+	c, err := userlib.OpenVirtual(p, n.Kernel, task, t.Spec.Name, kinds...)
 	if err != nil {
 		return nil, err
 	}

@@ -224,6 +224,11 @@ func (en *engine) doComplete() {
 		r.ch.Completions++
 		r.finish()
 	}
+	if ob := en.dev.CompletionObserver; ob != nil {
+		// Between retirement and the next dispatch the ring/staged state
+		// is settled, so an observer may detach idle contexts here.
+		ob(r)
+	}
 	en.dispatch()
 }
 

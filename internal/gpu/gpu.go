@@ -67,6 +67,7 @@ var (
 	ErrNoContexts   = errors.New("gpu: out of contexts")
 	ErrNoMemory     = errors.New("gpu: out of device memory")
 	ErrContextDead  = errors.New("gpu: context is dead")
+	ErrContextBusy  = errors.New("gpu: context has in-flight work")
 	ErrDeviceClosed = errors.New("gpu: device closed")
 )
 
@@ -238,6 +239,24 @@ func (ch *Channel) Pending() int {
 	return n
 }
 
+// Idle reports whether the channel is completely quiescent: nothing in
+// the ring, nothing staged in the command buffer, not executing, and not
+// the target of an in-progress context switch. Only an idle channel may
+// be gracefully detached (Device.ReleaseContext).
+func (ch *Channel) Idle() bool {
+	if len(ch.ring) != ch.head || len(ch.staged) != 0 {
+		return false
+	}
+	en := ch.engine()
+	if cur := en.current; cur != nil && cur.ch == ch {
+		return false
+	}
+	if en.switching == ch {
+		return false
+	}
+	return true
+}
+
 // popRing removes and returns the head of the ring. The backing array is
 // reused once drained, so a steady-state submit/serve cycle does not
 // allocate.
@@ -306,6 +325,13 @@ type Device struct {
 	// the device (after any interception). NEON uses it only in tests;
 	// schedulers must not.
 	SubmitObserver func(*Request)
+
+	// CompletionObserver, if set, is informed after each request retires
+	// on either engine (completion delivered, next dispatch not yet
+	// chosen). The virtual-context mux uses it to hand freed hardware
+	// contexts to attach waiters. The observer must not retain r: pooled
+	// requests may be recycled by the completion it just saw.
+	CompletionObserver func(r *Request)
 }
 
 // New creates a device and starts its engines on e.
@@ -489,6 +515,31 @@ func (d *Device) KillContext(c *Context) {
 	d.dmaEngine.abortIfContext(c)
 	d.mem.FreeAll(c.Owner)
 	delete(d.contexts, c.ID)
+}
+
+// ReleaseContext gracefully detaches a context, returning its hardware
+// slot to the pool without disturbing in-flight work or freeing the
+// owner's device memory (the working set survives a detach — that is the
+// point of virtual-context multiplexing). Every channel must be Idle;
+// otherwise ErrContextBusy is returned and nothing changes. Unlike
+// KillContext there is no abort and no memory teardown: the caller is
+// expected to recreate an equivalent context later and pay the paper's
+// context-switch cost on reattach.
+func (d *Device) ReleaseContext(c *Context) error {
+	if c.dead {
+		return ErrContextDead
+	}
+	for _, ch := range c.channels {
+		if !ch.Idle() {
+			return ErrContextBusy
+		}
+	}
+	c.dead = true
+	for _, ch := range c.channels {
+		ch.engine().removeChannel(ch)
+	}
+	delete(d.contexts, c.ID)
+	return nil
 }
 
 // KillOwner kills every context belonging to the task.

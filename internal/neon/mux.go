@@ -1,0 +1,434 @@
+package neon
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// This file is the virtual-context multiplexing front-end: a per-device
+// table of logical contexts that lets the kernel host far more clients
+// than the device's fixed pool of hardware contexts (48 on the paper's
+// GTX670). A logical context (VContext) is bound to a task for its
+// lifetime and lazily attached to a hardware context on first use. When
+// the pool is exhausted, an idle logical context is detached LRU-style
+// — its hardware slot (context plus channels) is gracefully released
+// back to the device without disturbing the task's device memory — and
+// the next attach of that logical context recreates the hardware state,
+// paying the setup syscalls plus the paper's ContextSwitch cost.
+//
+// Attach order under exhaustion is FIFO: a blocked attach enqueues a
+// waiter, and freed slots (request completions that leave a context
+// idle, or task exits) are granted to waiters in arrival order. Waiters
+// block on their task's gate, so the machinery adds no simulation
+// events unless it is actually exercised — kernels whose clients all
+// fit in the hardware pool run an event sequence byte-identical to the
+// un-multiplexed stack.
+
+// MuxStats are the kernel's virtual-context multiplexing counters.
+type MuxStats struct {
+	// Opens counts logical contexts created via OpenVirtual.
+	Opens int64
+	// Attaches counts hardware attaches (first attach and reattach).
+	Attaches int64
+	// Reattaches counts attaches that recreated previously evicted
+	// hardware state (each pays cost.ContextSwitch on top of setup).
+	Reattaches int64
+	// Evictions counts LRU detaches of idle logical contexts.
+	Evictions int64
+	// AttachWaits counts attaches that had to queue for a free slot.
+	AttachWaits int64
+	// MaxAttached is the high-water mark of concurrently attached
+	// logical contexts; it can never exceed the device's MaxContexts.
+	MaxAttached int
+}
+
+// muxState is the kernel's multiplexing state, nil until the first
+// OpenVirtual call so non-multiplexed kernels pay nothing.
+type muxState struct {
+	vcs      map[*gpu.Context]*VContext // attached, by hardware context
+	attached []*VContext                // attach order (unordered set; LRU is by lastUsed)
+	waiters  []*muxWaiter               // FIFO attach queue
+	reserved int                        // slots granted to waiters not yet consumed
+	clock    uint64                     // logical LRU clock, bumped per use
+	stats    MuxStats
+}
+
+// muxWaiter is one queued attach. The waiting process blocks on its
+// task's gate until granted (or the task dies).
+type muxWaiter struct {
+	vc      *VContext
+	granted bool
+}
+
+// VContext is a logical (virtual) GPU context: the handle user-level
+// clients hold instead of a raw *gpu.Context. It is created once per
+// client and survives detach/reattach cycles transparently.
+type VContext struct {
+	k     *Kernel
+	task  *Task
+	label string
+	kinds []gpu.Kind
+
+	hw    *gpu.Context    // nil while detached
+	chans []*ChannelState // hardware channels while attached, one per kind
+
+	pins         int    // active users; a pinned context is not evictable
+	lastUsed     uint64 // mux clock at last Acquire
+	everAttached bool   // reattaches (everAttached && attach) pay ContextSwitch
+	attaching    bool   // an attach is in flight; concurrent users wait
+	closed       bool   // task exited
+	waiter       *muxWaiter
+
+	reattaches int64
+}
+
+// OpenVirtual creates a logical context for the task with one channel
+// per kind. If a hardware slot is free it attaches eagerly — paying
+// exactly the setup syscalls a raw context creation would, so
+// populations within the hardware pool are indistinguishable from the
+// un-multiplexed stack. Otherwise the logical context starts detached
+// and the first Acquire attaches it (queueing for a slot if needed).
+func (k *Kernel) OpenVirtual(p *sim.Proc, t *Task, label string, kinds ...gpu.Kind) (*VContext, error) {
+	if !t.Alive {
+		return nil, gpu.ErrContextDead
+	}
+	if k.mux == nil {
+		k.mux = &muxState{vcs: make(map[*gpu.Context]*VContext)}
+		prev := k.dev.CompletionObserver
+		k.dev.CompletionObserver = func(r *gpu.Request) {
+			if prev != nil {
+				prev(r)
+			}
+			k.muxPump()
+		}
+	}
+	vc := &VContext{k: k, task: t, label: label, kinds: kinds}
+	t.vctxs = append(t.vctxs, vc)
+	k.mux.stats.Opens++
+	if k.muxFree() > 0 {
+		if err := vc.attach(p); err != nil {
+			return nil, err
+		}
+		vc.unpin()
+	}
+	return vc, nil
+}
+
+// MuxStatus returns a snapshot of the multiplexing counters (zero value
+// when the kernel has never multiplexed).
+func (k *Kernel) MuxStatus() MuxStats {
+	if k.mux == nil {
+		return MuxStats{}
+	}
+	return k.mux.stats
+}
+
+// muxFree returns the number of hardware context slots available to the
+// mux: pool size minus live contexts minus slots already granted to
+// queued waiters.
+func (k *Kernel) muxFree() int {
+	return k.dev.Config().MaxContexts - k.dev.ContextCount() - k.mux.reserved
+}
+
+// Task returns the owning task.
+func (vc *VContext) Task() *Task { return vc.task }
+
+// Attached reports whether the logical context currently holds a
+// hardware context.
+func (vc *VContext) Attached() bool { return vc.hw != nil }
+
+// HW returns the current hardware context (nil while detached).
+func (vc *VContext) HW() *gpu.Context { return vc.hw }
+
+// Reattaches counts how many times this logical context was re-attached
+// after an eviction.
+func (vc *VContext) Reattaches() int64 { return vc.reattaches }
+
+// ChannelIf returns the attached hardware channel of the given kind
+// without attaching or pinning; nil while detached.
+func (vc *VContext) ChannelIf(kind gpu.Kind) *gpu.Channel {
+	for _, cs := range vc.chans {
+		if cs.Ch.Kind == kind {
+			return cs.Ch
+		}
+	}
+	return nil
+}
+
+// Acquire returns the hardware channel of the given kind, attaching the
+// logical context first if necessary (which may block p waiting for a
+// slot). The context is pinned — ineligible for eviction — until the
+// matching Release. Returns an error only when the task is dead or a
+// protection policy denies the attach.
+func (vc *VContext) Acquire(p *sim.Proc, kind gpu.Kind) (*gpu.Channel, error) {
+	if err := vc.ensure(p); err != nil {
+		return nil, err
+	}
+	for _, cs := range vc.chans {
+		if cs.Ch.Kind == kind {
+			return cs.Ch, nil
+		}
+	}
+	vc.unpin()
+	return nil, gpu.ErrContextDead
+}
+
+// Release unpins the logical context after an Acquire. Channel pointers
+// obtained from Acquire must not be stored across a Release: the next
+// attach may produce fresh ones.
+func (vc *VContext) Release() { vc.unpin() }
+
+// ensure attaches (or joins an in-flight attach) and pins. On success
+// the caller owns one pin.
+func (vc *VContext) ensure(p *sim.Proc) error {
+	for {
+		if vc.closed || !vc.task.Alive {
+			return gpu.ErrContextDead
+		}
+		m := vc.k.mux
+		if vc.hw != nil {
+			vc.pins++
+			m.clock++
+			vc.lastUsed = m.clock
+			return nil
+		}
+		if !vc.attaching {
+			return vc.attach(p)
+		}
+		// Another process of this task is attaching; wait for it.
+		p.WaitFor(vc.task.gate, func() bool {
+			return !vc.attaching || vc.closed || !vc.task.Alive
+		})
+	}
+}
+
+// attach binds the logical context to a hardware context, creating the
+// context and its channels through the normal setup syscalls. It blocks
+// p while the pool is exhausted and nothing is evictable. On success
+// the context is pinned once and, if this is a reattach, the paper's
+// ContextSwitch cost has been charged.
+func (vc *VContext) attach(p *sim.Proc) error {
+	k := vc.k
+	m := k.mux
+	vc.attaching = true
+	defer func() {
+		vc.attaching = false
+		vc.task.gate.Broadcast()
+	}()
+	for {
+		if vc.closed || !vc.task.Alive {
+			return gpu.ErrContextDead
+		}
+		if k.muxFree() <= 0 && !k.muxEvictLRU() {
+			w := &muxWaiter{vc: vc}
+			vc.waiter = w
+			m.waiters = append(m.waiters, w)
+			m.stats.AttachWaits++
+			p.WaitFor(vc.task.gate, func() bool {
+				return w.granted || vc.closed || !vc.task.Alive
+			})
+			vc.waiter = nil
+			if !w.granted {
+				k.muxRemoveWaiter(w)
+				return gpu.ErrContextDead
+			}
+			m.reserved--
+			if vc.closed || !vc.task.Alive {
+				k.muxPump() // hand the slot on
+				return gpu.ErrContextDead
+			}
+		}
+		ctx, err := k.CreateContext(p, vc.task, vc.label)
+		if err == gpu.ErrNoContexts {
+			// A non-multiplexed client took the slot during the syscall
+			// sleep; go around again.
+			continue
+		}
+		if err != nil {
+			k.muxPump()
+			return err
+		}
+		chans := make([]*ChannelState, 0, len(vc.kinds))
+		var cherr error
+		for _, kind := range vc.kinds {
+			cs, err := k.CreateChannel(p, vc.task, ctx, kind)
+			if err != nil {
+				cherr = err
+				break
+			}
+			chans = append(chans, cs)
+		}
+		if cherr != nil {
+			// Roll the partial attach back and release the slot.
+			for _, cs := range chans {
+				delete(k.byPage, cs.Ch.Reg)
+				vc.task.removeChannel(cs)
+			}
+			vc.task.removeContext(ctx)
+			if !ctx.Dead() {
+				if err := k.dev.ReleaseContext(ctx); err != nil {
+					panic("neon: mux rollback of busy context: " + err.Error())
+				}
+			}
+			k.muxPump()
+			return cherr
+		}
+		vc.hw = ctx
+		vc.chans = chans
+		m.vcs[ctx] = vc
+		m.attached = append(m.attached, vc)
+		if n := len(m.attached); n > m.stats.MaxAttached {
+			m.stats.MaxAttached = n
+		}
+		m.stats.Attaches++
+		vc.pins++
+		m.clock++
+		vc.lastUsed = m.clock
+		if vc.everAttached {
+			vc.reattaches++
+			m.stats.Reattaches++
+			p.Sleep(k.costs.ContextSwitch)
+		}
+		vc.everAttached = true
+		return nil
+	}
+}
+
+func (vc *VContext) unpin() {
+	if vc.pins > 0 {
+		vc.pins--
+	}
+	if vc.pins == 0 && len(vc.k.mux.waiters) > 0 {
+		vc.k.muxPump()
+	}
+}
+
+// evictable reports whether the attached logical context can be
+// detached right now: unpinned, every channel quiescent, none sampling.
+func (vc *VContext) evictable() bool {
+	if vc.hw == nil || vc.pins > 0 || vc.attaching {
+		return false
+	}
+	for _, cs := range vc.chans {
+		if cs.sampling || !cs.Ch.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// muxEvictLRU detaches the least-recently-used evictable logical
+// context, freeing its hardware slot. Returns false when nothing is
+// evictable.
+func (k *Kernel) muxEvictLRU() bool {
+	m := k.mux
+	var victim *VContext
+	for _, vc := range m.attached {
+		if !vc.evictable() {
+			continue
+		}
+		if victim == nil || vc.lastUsed < victim.lastUsed {
+			victim = vc
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	k.muxDetach(victim)
+	return true
+}
+
+// muxDetach gracefully releases an idle logical context's hardware
+// state. The task keeps its identity, accounting history, and device
+// memory; only the context and channels go back to the pool.
+func (k *Kernel) muxDetach(vc *VContext) {
+	m := k.mux
+	for _, cs := range vc.chans {
+		vc.task.retiredDone += cs.Ch.Completions
+		delete(k.byPage, cs.Ch.Reg)
+		vc.task.removeChannel(cs)
+	}
+	vc.task.removeContext(vc.hw)
+	if err := k.dev.ReleaseContext(vc.hw); err != nil {
+		panic("neon: mux detach of busy context: " + err.Error())
+	}
+	delete(m.vcs, vc.hw)
+	for i, x := range m.attached {
+		if x == vc {
+			m.attached = append(m.attached[:i], m.attached[i+1:]...)
+			break
+		}
+	}
+	vc.hw = nil
+	vc.chans = nil
+	m.stats.Evictions++
+}
+
+// muxPump grants freed hardware slots to queued attach waiters in FIFO
+// order, evicting idle LRU contexts as needed. Called after request
+// completions, task exits, and unpins; a kernel with no waiters returns
+// immediately.
+func (k *Kernel) muxPump() {
+	m := k.mux
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		if w.vc.closed || !w.vc.task.Alive {
+			m.waiters = m.waiters[1:]
+			continue
+		}
+		if k.muxFree() <= 0 && !k.muxEvictLRU() {
+			return
+		}
+		m.waiters = m.waiters[1:]
+		m.reserved++
+		w.granted = true
+		w.vc.task.gate.Broadcast()
+	}
+}
+
+// muxRemoveWaiter drops a cancelled waiter from the queue, if present.
+func (k *Kernel) muxRemoveWaiter(w *muxWaiter) {
+	m := k.mux
+	for i, x := range m.waiters {
+		if x == w {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// muxTaskExited unlinks a dead task's logical contexts (their hardware
+// contexts were already destroyed by the device exit protocol) and
+// recycles any slots or grants the task held.
+func (k *Kernel) muxTaskExited(t *Task) {
+	m := k.mux
+	if m == nil {
+		return
+	}
+	for _, vc := range t.vctxs {
+		vc.closed = true
+		if w := vc.waiter; w != nil {
+			if w.granted {
+				// Granted but never consumed; the slot goes back.
+				m.reserved--
+				w.granted = false
+			} else {
+				k.muxRemoveWaiter(w)
+			}
+			vc.waiter = nil
+		}
+		if vc.hw != nil {
+			delete(m.vcs, vc.hw)
+			for i, x := range m.attached {
+				if x == vc {
+					m.attached = append(m.attached[:i], m.attached[i+1:]...)
+					break
+				}
+			}
+			vc.hw = nil
+			vc.chans = nil
+		}
+	}
+	t.vctxs = nil
+	k.muxPump()
+}

@@ -99,6 +99,10 @@ type Kernel struct {
 	nextTaskID gpu.TaskID
 	byPage     map[*mmio.Page]*ChannelState
 
+	// mux is the virtual-context multiplexing front-end (mux.go), nil
+	// until the first OpenVirtual call.
+	mux *muxState
+
 	// Label identifies this kernel instance in multi-device fleets; it
 	// defaults to the device's configured name and is what per-device
 	// schedulers report to fleet-wide reconciliation.

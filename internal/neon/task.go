@@ -31,6 +31,17 @@ type Task struct {
 	contexts []*gpu.Context
 	channels []*ChannelState
 
+	// vctxs are the task's logical contexts under virtual-context
+	// multiplexing (mux.go); empty for raw clients.
+	vctxs []*VContext
+
+	// retiredBusy and retiredDone preserve busy time and completion
+	// counts of hardware contexts that were gracefully detached by the
+	// mux, so BusyTime and CompletedRequests stay monotone across
+	// detach/reattach cycles.
+	retiredBusy sim.Duration
+	retiredDone int64
+
 	// gate is broadcast whenever scheduler state affecting this task
 	// changes; blocked fault handlers re-check their predicates on it.
 	gate *sim.Gate
@@ -69,6 +80,34 @@ func (t *Task) ShareWeight() float64 {
 // Channels returns the kernel's per-channel state for this task.
 func (t *Task) Channels() []*ChannelState { return t.channels }
 
+// Virtualized reports whether the task's GPU access goes through the
+// virtual-context mux. A virtualized task with no channels is detached
+// (holding no hardware context), not uninitialized.
+func (t *Task) Virtualized() bool { return len(t.vctxs) > 0 }
+
+// removeChannel drops the kernel channel state from the task (mux
+// detach path).
+func (t *Task) removeChannel(cs *ChannelState) {
+	for i, x := range t.channels {
+		if x == cs {
+			t.channels = append(t.channels[:i], t.channels[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeContext drops a hardware context from the task, banking its
+// busy time (mux detach path).
+func (t *Task) removeContext(ctx *gpu.Context) {
+	for i, x := range t.contexts {
+		if x == ctx {
+			t.retiredBusy += ctx.BusyTime
+			t.contexts = append(t.contexts[:i], t.contexts[i+1:]...)
+			return
+		}
+	}
+}
+
 // Contexts returns the task's GPU contexts.
 func (t *Task) Contexts() []*gpu.Context { return t.contexts }
 
@@ -94,6 +133,7 @@ func (t *Task) exit(reason string) {
 	}
 	t.channels = nil
 	t.contexts = nil
+	t.kernel.muxTaskExited(t)
 	// Wake anything blocked on scheduler state for this task.
 	t.gate.Broadcast()
 	t.kernel.sched.TaskExited(t)
@@ -104,7 +144,7 @@ func (t *Task) exit(reason string) {
 // export; only oracle scheduler variants and experiment reporting may
 // read it.
 func (t *Task) BusyTime() sim.Duration {
-	var b sim.Duration
+	b := t.retiredBusy
 	for _, ctx := range t.contexts {
 		b += ctx.BusyTime
 	}
@@ -114,7 +154,7 @@ func (t *Task) BusyTime() sim.Duration {
 // CompletedRequests returns the cumulative completion count across the
 // task's channels, as observable from reference counters.
 func (t *Task) CompletedRequests() int64 {
-	var n int64
+	n := t.retiredDone
 	for _, cs := range t.channels {
 		n += cs.Ch.Completions
 	}

@@ -55,8 +55,19 @@ func (a *Admission) Enabled() bool {
 // band only premium may queue into, so it sheds last). A zero return
 // means arrivals of that tier are never shed.
 func (a *Admission) Bound(tier workload.Tier) int {
-	if d, ok := a.TierDepths[tier.Normalize()]; ok {
+	tier = tier.Normalize()
+	if d, ok := a.TierDepths[tier]; ok {
 		return d
+	}
+	// The map's keys normalize too: a caller that builds TierDepths with
+	// the zero-value tier (meaning standard, as everywhere else) must
+	// bound standard arrivals, not silently fall through to the derived
+	// default. A canonical key wins over an alias; among the rest only
+	// "" aliases TierStandard, so the scan stays deterministic.
+	for k, d := range a.TierDepths {
+		if k.Normalize() == tier {
+			return d
+		}
 	}
 	if a.MaxDepth <= 0 {
 		return 0

@@ -143,3 +143,35 @@ func TestAdmissionTierDepthOverrides(t *testing.T) {
 		t.Error("unbounded tier must admit at any depth")
 	}
 }
+
+// TierDepths keys normalize exactly like tier arguments do: a map built
+// with the zero-value tier (the "standard" spelling used everywhere
+// else in the workload package) must bound standard arrivals. This
+// regressed silently before: Bound normalized its argument but looked
+// the map up verbatim, so a zero-keyed override was never found and the
+// controller fell back to the MaxDepth-derived default.
+func TestAdmissionTierDepthKeyNormalization(t *testing.T) {
+	a := Admission{MaxDepth: 96, TierDepths: map[workload.Tier]int{workload.Tier(""): 7}}
+	if got := a.Bound(workload.TierStandard); got != 7 {
+		t.Errorf("zero-keyed override ignored: Bound(standard) = %d, want 7", got)
+	}
+	if got := a.Bound(workload.Tier("")); got != 7 {
+		t.Errorf("zero-keyed override ignored: Bound(\"\") = %d, want 7", got)
+	}
+	// The alias must not leak across tiers.
+	if got := a.Bound(workload.TierBestEffort); got != 48 {
+		t.Errorf("best-effort bound = %d, want the derived 48", got)
+	}
+	if a.AdmitTier(workload.TierStandard, 7) {
+		t.Error("standard arrival at the overridden bound must shed")
+	}
+	// When both spellings are present the canonical key wins.
+	both := Admission{TierDepths: map[workload.Tier]int{
+		workload.Tier(""):       5,
+		workload.TierStandard:   11,
+		workload.TierBestEffort: 2,
+	}}
+	if got := both.Bound(workload.TierStandard); got != 11 {
+		t.Errorf("canonical key must win over the alias: got %d, want 11", got)
+	}
+}

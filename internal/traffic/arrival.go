@@ -162,6 +162,46 @@ func (m *MMPP) dwell(rng *sim.RNG) sim.Duration {
 	return expGap(rng, 1e9/float64(mean))
 }
 
+// Staggered arrivals fire once at Phase, then every Gap thereafter — a
+// deterministic comb with a per-stream offset. Storm populations use
+// it: spreading Phase evenly over one Gap across 10^4 streams gives a
+// uniform arrival front instead of a synchronized spike at time zero,
+// while still guaranteeing every stream fires in every Gap-wide window.
+// The process is stateful (the first gap differs from the rest), so
+// construct a fresh instance per stream, never share one.
+type Staggered struct {
+	Phase sim.Duration // offset of the first arrival
+	Gap   sim.Duration // steady inter-arrival gap after the first
+
+	started bool
+}
+
+// Name implements Arrival.
+func (*Staggered) Name() string { return "staggered" }
+
+// MeanRate implements Arrival: the steady rate once past the phase-in.
+func (s *Staggered) MeanRate() float64 {
+	if s.Gap <= 0 {
+		return 0
+	}
+	return 1e9 / float64(s.Gap)
+}
+
+// Next implements Arrival.
+func (s *Staggered) Next(now sim.Time, rng *sim.RNG) sim.Duration {
+	if !s.started {
+		s.started = true
+		if s.Phase >= 1 {
+			return s.Phase
+		}
+		return 1
+	}
+	if s.Gap < 1 {
+		return never
+	}
+	return s.Gap
+}
+
 // Diurnal is a nonhomogeneous Poisson process whose rate follows a
 // sinusoidal day/night cycle: rate(t) = Base * (1 + Amplitude *
 // sin(2*pi*t/Period)). Arrivals are generated by Lewis-Shedler

@@ -286,6 +286,13 @@ func (d *dispatcher) run(p *sim.Proc) {
 			d.st.stats.ColdTime += d.st.spec.Tenant.WorkingSet
 		}
 		r := client.SubmitDetached(p, d.st.kind, d.st.size)
+		if r == nil {
+			// The task died while the virtual context waited for a
+			// hardware slot; the request can never be served here.
+			d.srv.fleet.RequestDone(d.node)
+			d.st.stats.Aborted++
+			continue
+		}
 		r.Stamp = it.arrival
 		if r.IsDone() {
 			d.onDone(r)

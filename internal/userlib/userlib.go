@@ -17,10 +17,18 @@ import (
 )
 
 // Client is a task's handle to the GPU: one context plus one channel per
-// requested kind.
+// requested kind. A client opened with OpenVirtual holds a logical
+// context instead (VC non-nil): the hardware context is attached lazily
+// per submission and may be transparently evicted and re-attached by
+// the kernel's virtual-context mux, so submission methods can return a
+// nil request when the task dies mid-attach.
 type Client struct {
 	Task *neon.Task
 	Ctx  *gpu.Context
+
+	// VC is the logical context backing a virtual client; nil for raw
+	// clients opened with Open.
+	VC *neon.VContext
 
 	kernel   *neon.Kernel
 	channels map[gpu.Kind]*gpu.Channel
@@ -60,8 +68,35 @@ func Open(p *sim.Proc, k *neon.Kernel, t *neon.Task, label string, kinds ...gpu.
 	return c, nil
 }
 
-// Channel returns the client's channel of the given kind, or nil.
-func (c *Client) Channel(kind gpu.Kind) *gpu.Channel { return c.channels[kind] }
+// OpenVirtual creates a client backed by a logical (virtual) context:
+// the task can always open one, regardless of how many hardware
+// contexts the device has, and the kernel multiplexes the hardware pool
+// underneath. When a hardware slot is free the attach happens eagerly
+// here, paying exactly the setup syscalls Open would; otherwise the
+// first submission attaches (queueing for a slot if the pool is
+// exhausted, and paying cost.ContextSwitch on every re-attach).
+func OpenVirtual(p *sim.Proc, k *neon.Kernel, t *neon.Task, label string, kinds ...gpu.Kind) (*Client, error) {
+	vc, err := k.OpenVirtual(p, t, label, kinds...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		Task:   t,
+		VC:     vc,
+		kernel: k,
+		order:  append([]gpu.Kind(nil), kinds...),
+	}, nil
+}
+
+// Channel returns the client's channel of the given kind, or nil. For a
+// virtual client this is the currently attached hardware channel; nil
+// while detached.
+func (c *Client) Channel(kind gpu.Kind) *gpu.Channel {
+	if c.VC != nil {
+		return c.VC.ChannelIf(kind)
+	}
+	return c.channels[kind]
+}
 
 // Kinds returns the channel kinds the client opened, in creation order.
 func (c *Client) Kinds() []gpu.Kind { return c.order }
@@ -71,6 +106,9 @@ func (c *Client) Kinds() []gpu.Kind { return c.order }
 // fault (and block p) if the scheduler has engaged the channel.
 func (c *Client) Submit(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
 	r := c.SubmitDetached(p, kind, size)
+	if r == nil {
+		return nil
+	}
 	c.outstanding = append(c.outstanding, r)
 	return r
 }
@@ -81,8 +119,18 @@ func (c *Client) Submit(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Requ
 // through the request's own done hook, and tracking every in-flight
 // request in the fence list would grow without bound under sustained
 // overload. Like Submit, the doorbell store may fault and block p.
+// On a virtual client it returns nil if the task dies before the
+// logical context can attach.
 func (c *Client) SubmitDetached(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
 	ch := c.channels[kind]
+	if c.VC != nil {
+		var err error
+		ch, err = c.VC.Acquire(p, kind)
+		if err != nil {
+			return nil
+		}
+		defer c.VC.Release()
+	}
 	r := ch.Stage(size, kind)
 	if c.TrapPerRequest {
 		cost := c.kernel.Costs().SyscallTrap
@@ -107,8 +155,17 @@ func (c *Client) SubmitDetached(p *sim.Proc, kind gpu.Kind, size sim.Duration) *
 // blocking store, which may fault and delay the process arbitrarily.
 // Sync requests never enter the outstanding set: the request is retired
 // before returning, so there is nothing for Fence to see.
+// On a virtual client it returns nil if the task dies before the
+// logical context can attach.
 func (c *Client) SubmitSync(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
 	ch := c.channels[kind]
+	if c.VC != nil {
+		var err error
+		ch, err = c.VC.Acquire(p, kind)
+		if err != nil {
+			return nil
+		}
+	}
 	r := ch.Stage(size, kind)
 	if c.TrapPerRequest {
 		cost := c.kernel.Costs().SyscallTrap
@@ -119,6 +176,9 @@ func (c *Client) SubmitSync(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.
 		ch.Reg.Store(p, r.Ref)
 	} else if !ch.Reg.StoreAsync(p.Engine(), r.Ref) {
 		ch.Reg.Store(p, r.Ref)
+	}
+	if c.VC != nil {
+		c.VC.Release()
 	}
 	p.Wait(r.DoneGate())
 	return r

@@ -148,6 +148,95 @@ func BenchmarkRequestPath(b *testing.B) {
 	b.ReportMetric(float64(done)/float64(b.N), "requests/ms-simulated")
 }
 
+// BenchmarkRequestPathAsync is BenchmarkRequestPath driven by the
+// continuation API (DESIGN.md §14): the client is a self-rescheduling
+// machine — stage, async doorbell, resubmit from the completion hook in
+// engine context — so no process parks or unparks per request. The
+// sync/async pair prices the per-request goroutine handoff; the async
+// steady state must stay at 0 allocs/op (gated absolutely in CI once
+// recorded at zero).
+func BenchmarkRequestPathAsync(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	dev := gpu.New(eng, gpu.DefaultConfig())
+	k := neon.NewKernel(dev, benchNoSched{})
+	t := k.NewTask("bench")
+	done := 0
+	t.Go("main", func(p *sim.Proc) {
+		client, err := userlib.Open(p, k, t, "bench", gpu.Compute)
+		if err != nil {
+			return
+		}
+		var again func(r *gpu.Request)
+		again = func(r *gpu.Request) {
+			done++
+			r.Release()
+			client.SubmitAsync(eng, gpu.Compute, 10*time.Microsecond, again)
+		}
+		client.SubmitAsync(eng, gpu.Compute, 10*time.Microsecond, again)
+	})
+	// Settle setup (task, client, first staged request) and fill the
+	// request pool so the timed region is the steady state.
+	eng.RunFor(time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(time.Millisecond)
+	}
+	if done == 0 {
+		b.Fatal("no requests completed")
+	}
+	b.ReportMetric(float64(done)/float64(b.N), "requests/ms-simulated")
+}
+
+// benchClosedLoop measures an 8-client closed-loop population on one
+// device: sync keeps one parked process per in-flight request, async
+// runs the same loops as continuation machines with no process after
+// setup. The pair prices the park/unpark at population, where the
+// run queue churn is, not just on the single-client hot path.
+func benchClosedLoop(b *testing.B, async bool) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	dev := gpu.New(eng, gpu.DefaultConfig())
+	k := neon.NewKernel(dev, benchNoSched{})
+	done := 0
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("cl%d", i)
+		t := k.NewTask(name)
+		t.Go("main", func(p *sim.Proc) {
+			client, err := userlib.Open(p, k, t, name, gpu.Compute)
+			if err != nil {
+				return
+			}
+			if !async {
+				for {
+					r := client.SubmitSync(p, gpu.Compute, 10*time.Microsecond)
+					done++
+					r.Release()
+				}
+			}
+			var again func(r *gpu.Request)
+			again = func(r *gpu.Request) {
+				done++
+				r.Release()
+				client.SubmitAsync(eng, gpu.Compute, 10*time.Microsecond, again)
+			}
+			client.SubmitAsync(eng, gpu.Compute, 10*time.Microsecond, again)
+		})
+	}
+	eng.RunFor(time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(time.Millisecond)
+	}
+	if done == 0 {
+		b.Fatal("no requests completed")
+	}
+	b.ReportMetric(float64(done)/float64(b.N), "requests/ms-simulated")
+}
+
+func BenchmarkClosedLoopSync(b *testing.B)  { benchClosedLoop(b, false) }
+func BenchmarkClosedLoopAsync(b *testing.B) { benchClosedLoop(b, true) }
+
 // BenchmarkDFQCycle measures the cost of whole engagement/free-run cycles
 // with two saturating tasks.
 func BenchmarkDFQCycle(b *testing.B) {

@@ -79,8 +79,11 @@ func TestPerformanceDocCoversGateBenchmarks(t *testing.T) {
 	for _, want := range []string{
 		"BenchmarkSimEngine", "BenchmarkRequestPath", "BenchmarkDFQCycle",
 		"BenchmarkDFQCycleTenants", "BenchmarkBoardReconcile",
+		"BenchmarkRequestPathAsync", "BenchmarkClosedLoopSync",
+		"BenchmarkDispatcherDrain",
 		"cmd/benchjson", "quick.golden", "BENCH_6.json", "BENCH_7.json",
-		"BENCH_8.json", "DESIGN.md §11", "DESIGN.md §12", "DESIGN.md §13",
+		"BENCH_8.json", "BENCH_9.json", "DESIGN.md §11", "DESIGN.md §12",
+		"DESIGN.md §13", "DESIGN.md §14",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("PERFORMANCE.md does not mention %s", want)
@@ -147,6 +150,36 @@ func TestDesignDocCoversScaleIndex(t *testing.T) {
 		"FuzzDFQIndexOps", "TestFlowIndexStaleHandles",
 		"TestBoardShardCountInvariance", "TestBoardEpochLeadBound",
 		"TestBoardShardUnderflowPanic", "BenchmarkDFQCycleTenants",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("DESIGN.md does not mention %s", want)
+		}
+	}
+}
+
+// TestDesignDocCoversSubmission pins DESIGN.md §14's anchor terms: the
+// continuation API, the slow-path commitment rules (committed fault,
+// side-effect-free peek), the batch staging surface, and every test
+// and benchmark the section cites as evidence must keep their names.
+func TestDesignDocCoversSubmission(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"## 14.", "userlib.SubmitAsync", "gpu.Request.OnDone",
+		"mmio.StoreAsync", "SubmitSync", "SubmitEngaged",
+		"mmio.Page.StoreFaulting", "userlib.Client.Engaged",
+		"neon.VContext.Peek", "userlib.BeginBatch", "Batch.Flush",
+		"traffic.Config.BatchDrain", "StreamStats.Flushes",
+		"TestSubmitAsyncRefusesEngagedChannel",
+		"TestSubmitAsyncRefusesTrapPerRequest",
+		"TestSubmitEngagedCommitsFault",
+		"TestBatchDrainOneDoorbellPerBacklog",
+		"TestBatchDrainUnderDFQEngagement", "TestBatchDrainStampsSojourns",
+		"BenchmarkRequestPathAsync", "BenchmarkClosedLoopSync",
+		"BenchmarkDispatcherDrainBatched",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("DESIGN.md does not mention %s", want)

@@ -69,9 +69,48 @@ func throughput(opts Options, size sim.Duration, trap, driverWork bool) float64 
 		}
 		client.TrapPerRequest = trap
 		client.TrapDriverWork = driverWork
+		if trap {
+			// Trap-per-request stacks refuse the async fast path on
+			// every submission, so the classic blocking loop — trap
+			// sleep, store, park on the done gate — is the honest model.
+			for task.Alive {
+				client.SubmitSync(p, gpu.Compute, size)
+				done++
+			}
+			return
+		}
+		// Direct access runs as a self-resubmitting continuation chain:
+		// each completion re-stages the next request from engine context,
+		// with zero goroutine handoffs per request.
+		eng := p.Engine()
+		slow := eng.NewGate("sec3-slow")
+		var submit func()
+		onDone := func(r *gpu.Request) {
+			if r.Aborted {
+				return
+			}
+			eng.After(0, func() {
+				r.Release()
+				done++
+				submit()
+			})
+		}
+		submit = func() {
+			if !task.Alive {
+				return
+			}
+			if _, ok := client.SubmitAsync(eng, gpu.Compute, size, onDone); !ok {
+				// Unreachable under noScheduler (pages stay present);
+				// hand to the blocking lane rather than stall silently.
+				slow.Signal()
+			}
+		}
+		submit()
 		for task.Alive {
+			p.Wait(slow)
 			client.SubmitSync(p, gpu.Compute, size)
 			done++
+			submit()
 		}
 	})
 	eng.RunFor(opts.Measure)

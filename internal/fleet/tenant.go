@@ -28,6 +28,30 @@ type Tenant struct {
 	busy0   sim.Duration
 	work0   core.Work
 
+	// Continuation-machine state (DESIGN.md §14), mirroring
+	// workload.App: phase/idx drive the round, pending/fencing the
+	// frame fence, awaiting the blocking request in flight, slowFault
+	// the committed fault handoff, and stopped halts the slow lane.
+	eng        *sim.Engine
+	reqs       []workload.Req
+	coldKind   gpu.Kind
+	node       *Node
+	client     *userlib.Client
+	phase      int
+	idx        int
+	pending    int
+	fencing    bool
+	awaiting   *gpu.Request
+	placed     bool
+	slowFault  bool
+	stopped    bool
+	retire     []*gpu.Request
+	roundStart sim.Time
+	slowGate   *sim.Gate
+	stepFn     func()
+	fireDone   func(*gpu.Request)
+	blockDone  func(*gpu.Request)
+
 	// Rounds and RoundTime accumulate since the last ResetStats.
 	Rounds    int64
 	RoundTime sim.Duration
@@ -165,49 +189,250 @@ func (t *Tenant) clientOn(p *sim.Proc, n *Node) (*userlib.Client, error) {
 	return c, nil
 }
 
-// run is the tenant's placed round loop.
+// Tenant round-machine phases, mirroring workload.App's machine: the
+// placed round loop runs as an engine-driven state machine on the async
+// submission path, and the tenant's process survives as the slow lane
+// for anything that must block — first-touch client setup, blocking
+// attach of a detached virtual context, and submissions committed to
+// the fault path at an engine-instant refusal (see userlib.Engaged).
+const (
+	tphPlace  = iota // round start: place, open client, cold rebuild
+	tphCold          // cold-rebuild request in flight
+	tphThink         // jittered CPU think timer in flight
+	tphSubmit        // submitting reqs[idx:]
+	tphFence         // waiting for pending to reach zero
+	tphOff           // off-period timer in flight
+)
+
+// run drives the tenant's placed round loop as a continuation machine.
 func (t *Tenant) run(p *sim.Proc) {
-	reqs := t.Spec.Requests()
-	kinds := t.Spec.Channels
-	coldKind := gpu.Compute
-	if len(kinds) > 0 {
-		coldKind = kinds[0]
+	t.eng = p.Engine()
+	t.reqs = t.Spec.Requests()
+	t.coldKind = gpu.Compute
+	if kinds := t.Spec.Channels; len(kinds) > 0 {
+		t.coldKind = kinds[0]
 	}
-	for {
-		start := p.Now()
-		n := t.fleet.Place(t)
-		client, err := t.clientOn(p, n)
-		if err != nil {
-			t.setupErr = err
-			t.fleet.roundDone(n)
+	t.slowGate = t.eng.NewGate("slow-tenant-" + t.Spec.Name)
+	t.stepFn = func() { t.step(nil) }
+	t.fireDone = func(r *gpu.Request) { t.oneDone(r) }
+	t.blockDone = func(*gpu.Request) { t.eng.After(0, t.stepFn) }
+
+	t.phase = tphPlace
+	t.step(p)
+	for !t.stopped {
+		p.Wait(t.slowGate)
+		if t.stopped {
 			return
 		}
-		if t.last != nil && t.last != n && t.Spec.WorkingSet > 0 {
+		t.step(p)
+	}
+}
+
+// oneDone is the completion continuation of fire-and-forget requests.
+func (t *Tenant) oneDone(r *gpu.Request) {
+	t.pending--
+	if !r.Aborted {
+		t.retire = append(t.retire, r)
+	}
+	if t.fencing && t.pending == 0 {
+		t.eng.After(0, t.stepFn)
+	}
+}
+
+// step advances the round machine; p == nil means engine context (must
+// not block — blocking work hands off to the slow lane), p != nil means
+// the slow-lane process.
+func (t *Tenant) step(p *sim.Proc) {
+	if r := t.awaiting; r != nil {
+		t.awaiting = nil
+		r.Release()
+		t.advance()
+	}
+	for {
+		switch t.phase {
+		case tphPlace:
+			// Place exactly once per round: a slow-lane handoff re-enters
+			// this phase, and the placement decision must not be redrawn
+			// (round-robin advances on every Place call).
+			if !t.placed {
+				t.roundStart = t.eng.Now()
+				t.node = t.fleet.Place(t)
+				t.placed = true
+			}
+			if p == nil {
+				if c, ok := t.clients[t.node]; !ok || !c.Task.Alive {
+					// First touch (setup syscalls) or a dead handle:
+					// both need the process.
+					t.toProc(t.coldKind, false)
+					return
+				}
+			}
+			client, err := t.clientOn(p, t.node)
+			if err != nil {
+				t.setupErr = err
+				t.fleet.roundDone(t.node)
+				t.stop()
+				return
+			}
+			t.client = client
+			cold := t.last != nil && t.last != t.node && t.Spec.WorkingSet > 0
+			t.last = t.node
+			if !cold {
+				t.phase = tphThink
+				continue
+			}
 			// Cold round: rebuild the warm state before the round's own
 			// requests. The reconstruction occupies the destination
 			// engine, so migration costs the fleet real capacity.
 			t.Migrations++
 			t.ColdTime += t.Spec.WorkingSet
-			client.SubmitSync(p, coldKind, t.Spec.WorkingSet)
-		}
-		t.last = n
-
-		p.Sleep(t.rng.Jitter(t.Spec.CPU, t.Spec.Jitter))
-		for _, rq := range reqs {
-			if rq.Trivial || t.Spec.Pipelined {
-				client.Submit(p, rq.Kind, rq.Size)
-			} else {
-				client.SubmitSync(p, rq.Kind, rq.Size)
+			t.phase = tphCold
+		case tphCold:
+			if !t.submitBlocking(p, t.coldKind, t.Spec.WorkingSet) {
+				return
 			}
+		case tphThink:
+			t.phase = tphSubmit
+			t.idx = 0
+			t.eng.After(t.rng.Jitter(t.Spec.CPU, t.Spec.Jitter), t.stepFn)
+			return
+		case tphSubmit:
+			if t.idx == len(t.reqs) {
+				t.phase = tphFence
+				continue
+			}
+			rq := t.reqs[t.idx]
+			if rq.Trivial || t.Spec.Pipelined {
+				fault := t.slowFault
+				t.slowFault = false
+				if !fault {
+					if _, ok := t.client.SubmitAsync(t.eng, rq.Kind, rq.Size, t.fireDone); ok {
+						t.pending++
+						t.idx++
+						dw := t.node.Kernel.Costs().DirectWrite
+						if p == nil {
+							t.eng.After(dw, t.stepFn)
+							return
+						}
+						p.Sleep(dw)
+						continue
+					}
+					if p == nil {
+						t.toProc(rq.Kind, true)
+						return
+					}
+				}
+				if fault {
+					t.pending++
+					if t.client.SubmitEngaged(p, rq.Kind, rq.Size, t.fireDone) == nil {
+						t.pending--
+					}
+				} else if r := t.client.SubmitDetached(p, rq.Kind, rq.Size); r != nil {
+					t.pending++
+					if r.IsDone() {
+						t.fireDone(r)
+					} else {
+						r.OnDone = t.fireDone
+					}
+				}
+				t.idx++
+			} else if !t.submitBlocking(p, rq.Kind, rq.Size) {
+				return
+			}
+		case tphFence:
+			if t.pending > 0 {
+				t.fencing = true
+				return
+			}
+			t.fencing = false
+			for i, r := range t.retire {
+				r.Release()
+				t.retire[i] = nil
+			}
+			t.retire = t.retire[:0]
+			t.fleet.roundDone(t.node)
+			if off := t.Spec.OffTime(); off > 0 {
+				t.phase = tphOff
+				t.eng.After(off, t.stepFn)
+				return
+			}
+			t.endRound()
+		case tphOff:
+			t.endRound()
 		}
-		client.Fence(p)
-		t.fleet.roundDone(n)
-
-		if off := t.Spec.OffTime(); off > 0 {
-			p.Sleep(off)
-		}
-		t.Rounds++
-		t.PerDevice[n.Index]++
-		t.RoundTime += p.Now().Sub(start)
 	}
+}
+
+// submitBlocking issues one submit-and-wait request for the current
+// phase. It returns false when the machine must yield: the request is
+// in flight with a continuation, or the submission was handed to the
+// slow lane. On a nil (dead-handle) submission it advances as the old
+// blocking loop did — the next placement notices the dead task.
+func (t *Tenant) submitBlocking(p *sim.Proc, kind gpu.Kind, size sim.Duration) bool {
+	fault := t.slowFault
+	t.slowFault = false
+	if !fault {
+		if r, ok := t.client.SubmitAsync(t.eng, kind, size, t.blockDone); ok {
+			t.awaiting = r
+			return false
+		}
+		if p == nil {
+			t.toProc(kind, true)
+			return false
+		}
+	}
+	var r *gpu.Request
+	if fault {
+		if r = t.client.SubmitEngaged(p, kind, size, nil); r != nil {
+			p.Wait(r.DoneGate())
+		}
+	} else {
+		r = t.client.SubmitSync(p, kind, size)
+	}
+	if r != nil {
+		r.Release()
+	}
+	t.advance()
+	return true
+}
+
+// advance moves past the blocking submission that just completed: the
+// cold rebuild yields to the think phase, a round request to the next
+// request in the sequence.
+func (t *Tenant) advance() {
+	if t.phase == tphCold {
+		t.phase = tphThink
+	} else {
+		t.idx++
+	}
+}
+
+// endRound accounts the finished round; the step loop then re-enters
+// tphPlace in the same turn, exactly as the blocking loop began its
+// next round without yielding.
+func (t *Tenant) endRound() {
+	now := t.eng.Now()
+	t.Rounds++
+	t.PerDevice[t.node.Index]++
+	t.RoundTime += now.Sub(t.roundStart)
+	t.phase = tphPlace
+	t.placed = false
+}
+
+// toProc hands the machine to the slow-lane process. When the handoff
+// is for a refused submission, the fault-or-direct decision is
+// committed here, at the refusal instant, because the scheduler may
+// flip the channel's engagement within the same instant (see
+// userlib.Engaged and workload.App.toProc).
+func (t *Tenant) toProc(kind gpu.Kind, submission bool) {
+	if submission {
+		t.slowFault = t.client.Engaged(kind)
+	}
+	t.slowGate.Signal()
+}
+
+// stop halts the machine and releases the slow-lane process.
+func (t *Tenant) stop() {
+	t.stopped = true
+	t.slowGate.Signal()
 }

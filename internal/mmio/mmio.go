@@ -83,6 +83,20 @@ func (pg *Page) Store(p *sim.Proc, value uint64) {
 		pg.sink(value)
 		return
 	}
+	pg.StoreFaulting(p, value)
+}
+
+// StoreFaulting delivers a store through the fault path regardless of
+// the page's current mapping. Store commits a store to the fault at the
+// instant it observes the page non-present — the page may be remapped
+// during the trap sleep and the handler still runs. A caller that makes
+// the same observation in engine context (a continuation machine whose
+// fast-path store was refused) owes the same commitment, but takes the
+// fault one event hop later, on its slow-lane process; the scheduler may
+// remap the page within that same instant, exactly as it may during
+// Store's trap sleep, and either way the committed fault proceeds:
+// trap, handler, then the single-stepped store.
+func (pg *Page) StoreFaulting(p *sim.Proc, value uint64) {
 	pg.Faults++
 	p.Sleep(pg.costs.FaultTrap)
 	if pg.handler != nil {

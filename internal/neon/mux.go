@@ -173,6 +173,50 @@ func (vc *VContext) Acquire(p *sim.Proc, kind gpu.Kind) (*gpu.Channel, error) {
 	return nil, gpu.ErrContextDead
 }
 
+// AcquireIf is the non-blocking form of Acquire for the engine-driven
+// submission fast path: if the logical context is currently attached and
+// usable it pins it — bumping the LRU clock exactly as Acquire would —
+// and returns the hardware channel of the given kind. It never attaches,
+// never waits, and consumes no process context; it reports false when
+// the context is detached, mid-attach, or dead, and callers fall back to
+// the blocking Acquire from a real process.
+func (vc *VContext) AcquireIf(kind gpu.Kind) (*gpu.Channel, bool) {
+	if vc.closed || !vc.task.Alive || vc.hw == nil || vc.attaching {
+		return nil, false
+	}
+	for _, cs := range vc.chans {
+		if cs.Ch.Kind == kind {
+			m := vc.k.mux
+			vc.pins++
+			m.clock++
+			vc.lastUsed = m.clock
+			return cs.Ch, true
+		}
+	}
+	return nil, false
+}
+
+// Peek is the side-effect-free form of AcquireIf: it reports whether the
+// logical context is currently attached and usable and returns the
+// hardware channel of the given kind, without pinning and — critically —
+// without bumping the LRU clock. Refusal checks (is the fast path even
+// available? is the register engaged?) must use Peek, not AcquireIf:
+// a submission that ends up on the blocking path must charge exactly one
+// LRU use, the Acquire it retries with, or the mux's eviction order
+// drifts from the blocking-only timeline. The channel pointer is only
+// valid within the current engine instant.
+func (vc *VContext) Peek(kind gpu.Kind) (*gpu.Channel, bool) {
+	if vc.closed || !vc.task.Alive || vc.hw == nil || vc.attaching {
+		return nil, false
+	}
+	for _, cs := range vc.chans {
+		if cs.Ch.Kind == kind {
+			return cs.Ch, true
+		}
+	}
+	return nil, false
+}
+
 // Release unpins the logical context after an Acquire. Channel pointers
 // obtained from Acquire must not be stored across a Release: the next
 // attach may produce fresh ones.

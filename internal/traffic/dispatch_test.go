@@ -1,0 +1,284 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// regWrites sums the direct (doorbell) writes across every channel
+// register on the node's device — one per un-batched submission, one
+// per flushed batch.
+func regWrites(n *fleet.Node) int64 {
+	var writes int64
+	for _, ctx := range n.Device.Contexts() {
+		for _, ch := range ctx.Channels() {
+			writes += ch.Reg.DirectWrites
+		}
+	}
+	return writes
+}
+
+// TestBatchDrainOneDoorbellPerBacklog is the batch-staging contract at
+// its sharpest: a dispatcher that wakes to a k-item backlog stages all
+// k on the channel and rings exactly one doorbell, where the
+// per-request drain rings k. The backlog is hand-fed before the drain
+// spawns so the doorbell count is exact, not statistical.
+func TestBatchDrainOneDoorbellPerBacklog(t *testing.T) {
+	const backlog = 8
+	run := func(batch bool) (writes, completed int64) {
+		eng := sim.NewEngine()
+		srv, err := New(eng, Config{
+			Fleet:      fleet.Config{Devices: 1, Sched: "direct", Seed: 1},
+			BatchDrain: batch,
+			Streams: []Stream{
+				// Arrival far beyond the horizon: the queue is fed by hand.
+				{Tenant: workload.OpenLoopTenant("b", 50*us, 0), Arrival: Deterministic{Rate: 1}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := srv.Fleet().Nodes()[0]
+		st := srv.streams[0]
+		d := &dispatcher{srv: srv, st: st, node: node, gate: eng.NewGate("dispatch-test")}
+		d.doneFn = d.onDone
+		st.disp[node] = d
+		for i := 0; i < backlog; i++ {
+			srv.Fleet().PlaceRequest(st.ft)
+			d.queue = append(d.queue, item{arrival: eng.Now()})
+		}
+		eng.Spawn("dispatch", d.run)
+		eng.RunFor(10 * time.Millisecond)
+		if err := srv.SetupError(); err != nil {
+			t.Fatal(err)
+		}
+		return regWrites(node), st.stats.Completed
+	}
+
+	plainWrites, plainDone := run(false)
+	batchWrites, batchDone := run(true)
+	if plainDone != backlog || batchDone != backlog {
+		t.Fatalf("completed %d un-batched / %d batched, want %d each", plainDone, batchDone, backlog)
+	}
+	if plainWrites != backlog {
+		t.Errorf("un-batched drain rang %d doorbells for %d requests, want one each", plainWrites, backlog)
+	}
+	if batchWrites != 1 {
+		t.Errorf("batched drain rang %d doorbells for a %d-item backlog, want exactly 1", batchWrites, backlog)
+	}
+}
+
+// TestBatchDrainUnderDFQEngagement runs batched and per-request drains
+// under Disengaged Fair Queueing at overload. While the register is
+// engaged the batch path must refuse — each submission still blocks in
+// its own fault, which is the interposition the scheduler's sampling
+// depends on — and the backlog that piles up behind those faults
+// collapses into single doorbells once the free run disengages the
+// register. Goodput must not change: batching amortizes submission,
+// never capacity.
+func TestBatchDrainUnderDFQEngagement(t *testing.T) {
+	run := func(batch bool) (completed, arrivals, writes, cycles, flushes, staged int64) {
+		eng := sim.NewEngine()
+		srv, err := New(eng, Config{
+			Fleet: fleet.Config{
+				Devices: 1, Sched: "dfq", RunLimit: time.Second, Seed: 1,
+				DFQ: core.DFQConfig{SamplePeriod: 2 * time.Millisecond, SampleRequests: 64, FreeRunMultiplier: 1},
+			},
+			BatchDrain: batch,
+			Streams: []Stream{
+				{Tenant: workload.OpenLoopTenant("a", 300*us, 0), Arrival: Deterministic{Rate: 3000}},
+				{Tenant: workload.OpenLoopTenant("b", 300*us, 0), Arrival: Poisson{Rate: 3000}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.RunFor(300 * time.Millisecond)
+		if err := srv.SetupError(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			completed += srv.Stats(i).Completed
+			arrivals += srv.Stats(i).Arrivals
+			flushes += srv.Stats(i).Flushes
+			staged += srv.Stats(i).Batched
+		}
+		return completed, arrivals, regWrites(srv.Fleet().Nodes()[0]),
+			srv.Fleet().Nodes()[0].DFQ().Cycles, flushes, staged
+	}
+	plain, plainArrivals, plainWrites, _, _, _ := run(false)
+	batched, _, batchWrites, batchCycles, flushes, staged := run(true)
+	t.Logf("arrivals %d, doorbells un-batched %d vs batched %d, %d flushes carried %d submissions, %d DFQ cycles",
+		plainArrivals, plainWrites, batchWrites, flushes, staged, batchCycles)
+
+	if batched < plain*9/10 {
+		t.Errorf("batched goodput %d vs %d un-batched: batching must not cost capacity", batched, plain)
+	}
+	// Engaged-path submissions ring no doorbell in either mode (the
+	// fault carries them); the direct remainder rings one each
+	// un-batched, so batching must save exactly what the multi-item
+	// flushes collapse.
+	if saved := staged - flushes; saved <= 0 {
+		t.Errorf("%d flushes carried %d submissions: no backlog ever collapsed", flushes, staged)
+	}
+	if batchWrites >= plainWrites {
+		t.Errorf("batched doorbells %d vs %d un-batched: batching saved nothing", batchWrites, plainWrites)
+	}
+	// Engagement interposition survives batching: the DFQ cycle
+	// machinery (barrier, sampling, free-run) keeps running.
+	if batchCycles < 3 {
+		t.Errorf("only %d DFQ cycles under batched drain: engagement path not exercised", batchCycles)
+	}
+}
+
+// TestBatchDrainStampsSojourns: batching must not lose per-request
+// arrival stamps — sojourn latencies stay per-request even when the
+// whole backlog is delivered in one doorbell event.
+func TestBatchDrainStampsSojourns(t *testing.T) {
+	eng := sim.NewEngine()
+	srv, err := New(eng, Config{
+		Fleet:      fleet.Config{Devices: 1, Sched: "direct", RunLimit: time.Second, Seed: 1},
+		BatchDrain: true,
+		Streams: []Stream{
+			{Tenant: workload.OpenLoopTenant("b", 200*us, 0), Arrival: Deterministic{Rate: 1000}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(300 * time.Millisecond)
+	st := srv.Stats(0)
+	if st.Completed < 250 {
+		t.Fatalf("completed %d of ~300 offered", st.Completed)
+	}
+	p50 := st.Latency.Quantile(0.5)
+	if p50 < 200*us || p50 > 260*us {
+		t.Fatalf("p50 sojourn %v under batched drain, want ~service time 200µs", p50)
+	}
+}
+
+// benchDispatcherDrain measures one 32-item backlog drain end to end —
+// wake, submission, device execution, completion accounting — with
+// per-request doorbells vs one batched flush. The batched drain saves
+// two events and a DirectWrite of pacing per request; the delta is the
+// dispatcher-side submission cost the batch amortizes.
+func benchDispatcherDrain(b *testing.B, batch bool) {
+	const backlog = 32
+	eng := sim.NewEngine()
+	srv, err := New(eng, Config{
+		Fleet:      fleet.Config{Devices: 1, Sched: "direct", Seed: 1},
+		BatchDrain: batch,
+		Streams: []Stream{
+			// Rate 0 never fires: every backlog is fed by hand.
+			{Tenant: workload.OpenLoopTenant("b", us, 0), Arrival: Deterministic{Rate: 0}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := srv.Fleet().Nodes()[0]
+	st := srv.streams[0]
+	d := &dispatcher{srv: srv, st: st, node: node, gate: eng.NewGate("dispatch-bench")}
+	d.doneFn = d.onDone
+	st.disp[node] = d
+	eng.Spawn("dispatch", d.run)
+	eng.RunFor(time.Millisecond)
+	fill := func() {
+		for j := 0; j < backlog; j++ {
+			srv.Fleet().PlaceRequest(st.ft)
+			d.queue = append(d.queue, item{arrival: eng.Now()})
+		}
+		if d.ready && d.idle {
+			d.idle = false
+			d.gate.Signal()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(0, fill)
+		eng.RunFor(200 * time.Microsecond)
+	}
+	if st.stats.Completed < int64(b.N*backlog) {
+		b.Fatalf("completed %d of %d submitted", st.stats.Completed, b.N*backlog)
+	}
+}
+
+func BenchmarkDispatcherDrain(b *testing.B)        { benchDispatcherDrain(b, false) }
+func BenchmarkDispatcherDrainBatched(b *testing.B) { benchDispatcherDrain(b, true) }
+
+// TestColdRebuildNotCountedWhenTaskDies is the regression test for the
+// dispatcher's cold-rebuild accounting: when the tenant's task dies
+// while its virtual context waits for a hardware slot, the rebuild
+// submission returns nil and its working-set time must NOT be charged
+// to ColdTime — the rebuild never reached the device.
+//
+// The death window is built by hand: a hog tenant pins the device's
+// only hardware context forever, so the victim dispatcher's cold
+// submission parks in the mux attach queue, where the kill lands.
+func TestColdRebuildNotCountedWhenTaskDies(t *testing.T) {
+	eng := sim.NewEngine()
+	srv, err := New(eng, Config{
+		Fleet: fleet.Config{Devices: 1, GPU: gpu.Config{MaxContexts: 1}, Sched: "direct", Seed: 1},
+		Streams: []Stream{
+			// Arrival far beyond the horizon: the queue is fed by hand.
+			{Tenant: workload.OpenLoopTenant("victim", 100*us, 400*us), Arrival: Deterministic{Rate: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := srv.Fleet().Nodes()[0]
+
+	// The hog attaches and pins the only hardware context, forever.
+	hog := srv.Fleet().NewTenant(workload.OpenLoopTenant("hog", 100*us, 0))
+	hold := eng.NewGate("hold")
+	eng.Spawn("hog", func(p *sim.Proc) {
+		c, err := hog.Client(p, node)
+		if err != nil {
+			t.Errorf("hog client: %v", err)
+			return
+		}
+		if _, err := c.VC.Acquire(p, gpu.Compute); err != nil {
+			t.Errorf("hog acquire: %v", err)
+			return
+		}
+		p.Wait(hold)
+	})
+	eng.RunFor(time.Millisecond)
+
+	// Hand-feed the victim's dispatcher one cold item and spawn its
+	// drain; the client opens detached (pool exhausted) and the cold
+	// rebuild parks waiting for a slot.
+	st := srv.streams[0]
+	d := &dispatcher{srv: srv, st: st, node: node, gate: eng.NewGate("dispatch-test")}
+	d.doneFn = d.onDone
+	st.disp[node] = d
+	srv.Fleet().PlaceRequest(st.ft)
+	d.queue = append(d.queue, item{arrival: eng.Now(), cold: true})
+	eng.Spawn("dispatch", d.run)
+	eng.RunFor(time.Millisecond)
+
+	task := st.ft.Task(node)
+	if task == nil || !task.Alive {
+		t.Fatal("victim task not set up, or died early")
+	}
+	node.Kernel.KillTask(task, "test: die while waiting for a slot")
+	eng.RunFor(time.Millisecond)
+
+	if st.stats.ColdTime != 0 {
+		t.Errorf("ColdTime = %v for a rebuild that was never submitted, want 0", st.stats.ColdTime)
+	}
+	if st.stats.Aborted != 1 {
+		t.Errorf("Aborted = %d, want 1: the queued request can never be served", st.stats.Aborted)
+	}
+	if depth := srv.Fleet().QueueDepth(); depth != 0 {
+		t.Errorf("fleet queue depth %d after abort, want 0", depth)
+	}
+}

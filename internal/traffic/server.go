@@ -23,6 +23,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/userlib"
 	"repro/internal/workload"
 )
 
@@ -57,6 +58,12 @@ type StreamStats struct {
 	// ColdTime is device time spent rebuilding the tenant's working set
 	// after placement moved it across devices.
 	ColdTime sim.Duration
+	// Flushes counts batched-drain doorbells and Batched the submissions
+	// they carried (both zero unless Config.BatchDrain): Batched/Flushes
+	// is the mean backlog-collapse factor, and Batched-Flushes the
+	// doorbells the batching saved.
+	Flushes int64
+	Batched int64
 }
 
 // GoodputPerSec returns completed requests per second over the window.
@@ -86,6 +93,15 @@ type Config struct {
 	// Admission.Bound). <= 0 disables admission control unless
 	// TierDepths is set.
 	AdmitDepth int
+	// BatchDrain switches the dispatchers' backlog drain to batch
+	// staging: a whole queued backlog is staged on the channel in one
+	// engine instant and submitted with a single doorbell (one
+	// userlib.Batch flush, one device kick) instead of one store — and
+	// one DirectWrite of pacing — per request. Requests then reach the
+	// device together at now+DirectWrite, so batched drains trade the
+	// per-request doorbell timeline for submission cost; the default
+	// (off) reproduces the per-request event sequence exactly.
+	BatchDrain bool
 	// TierDepths overrides the derived per-tier admission bounds.
 	TierDepths map[workload.Tier]int
 	// Streams is the tenant population, one open-loop source each.
@@ -110,6 +126,7 @@ type Server struct {
 	eng     *sim.Engine
 	fleet   *fleet.Fleet
 	adm     Admission
+	batch   bool
 	streams []*stream
 
 	// Same-tick completion coalescing: completion hooks append to
@@ -139,7 +156,8 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{eng: eng, fleet: f, adm: Admission{MaxDepth: cfg.AdmitDepth, TierDepths: cfg.TierDepths}}
+	s := &Server{eng: eng, fleet: f, batch: cfg.BatchDrain,
+		adm: Admission{MaxDepth: cfg.AdmitDepth, TierDepths: cfg.TierDepths}}
 	s.flushFn = s.flushDone
 	for i, spec := range cfg.Streams {
 		st := &stream{
@@ -229,7 +247,14 @@ func (s *Server) arrive(p *sim.Proc, st *stream) {
 		arrival: p.Now(),
 		cold:    migrated && st.spec.Tenant.WorkingSet > 0,
 	})
-	d.gate.Broadcast()
+	if d.ready && d.idle {
+		// Edge-triggered wake: the drain parks only with an empty queue,
+		// so only the idle-to-backlogged transition signals the gate —
+		// same wake event position as a broadcast to the parked process,
+		// without a (lost) broadcast per backlogged arrival.
+		d.idle = false
+		d.gate.Signal()
+	}
 }
 
 // item is one admitted request waiting in a dispatcher queue.
@@ -243,13 +268,26 @@ type item struct {
 // may block on the node scheduler's interception (that is how engaged
 // schedulers delay tenants), but completion is never waited for — the
 // channel FIFO and the completion hook carry the rest.
+//
+// The drain stays process-driven — unlike the closed-loop drivers'
+// continuation machines (DESIGN.md §14) — because every serving client
+// rides a virtual (multiplexed) context: each acquire orders the mux's
+// LRU clock and attach queue by the event it runs in, and only a
+// process can block through an attach, so an engine-context refusal
+// hop would shift those orderings within the instant. The wake is
+// edge-triggered instead of broadcast-per-arrival (gate signal only on
+// the idle-to-backlogged transition), and Config.BatchDrain turns a
+// drained backlog into one staged batch with a single doorbell.
 type dispatcher struct {
-	srv   *Server
-	st    *stream
-	node  *fleet.Node
-	queue []item
-	gate  *sim.Gate
-	err   error
+	srv    *Server
+	st     *stream
+	node   *fleet.Node
+	queue  []item
+	err    error
+	client *userlib.Client
+	ready  bool // client setup finished; wakes may target the gate
+	idle   bool // drain parked on the gate (implies empty queue)
+	gate   *sim.Gate
 
 	// doneFn is the completion hook, bound once: every request of this
 	// (stream, node) pair shares it, so hooking a completion allocates
@@ -257,6 +295,8 @@ type dispatcher struct {
 	doneFn func(*gpu.Request)
 }
 
+// run opens the tenant's client on the node (anything queued during
+// setup is drained right after), then serves wake-drain cycles.
 func (d *dispatcher) run(p *sim.Proc) {
 	client, err := d.st.ft.Client(p, d.node)
 	if err != nil {
@@ -264,9 +304,15 @@ func (d *dispatcher) run(p *sim.Proc) {
 		d.drainFailed()
 		return
 	}
+	d.client = client
+	d.ready = true
 	for {
 		if len(d.queue) == 0 {
+			d.idle = true
 			p.Wait(d.gate)
+			continue
+		}
+		if d.srv.batch && d.batchDrain() {
 			continue
 		}
 		it := d.queue[0]
@@ -281,11 +327,15 @@ func (d *dispatcher) run(p *sim.Proc) {
 		if it.cold {
 			// Rebuild the warm working set ahead of the request, on the
 			// same channel: FIFO ordering makes the reconstruction complete
-			// first, and its device time is real capacity spent.
-			client.SubmitDetached(p, d.st.kind, d.st.spec.Tenant.WorkingSet)
-			d.st.stats.ColdTime += d.st.spec.Tenant.WorkingSet
+			// first, and its device time is real capacity spent — counted
+			// only when the rebuild was actually staged (the task can die
+			// while the virtual context waits for a hardware slot).
+			ws := d.st.spec.Tenant.WorkingSet
+			if d.client.SubmitDetached(p, d.st.kind, ws) != nil {
+				d.st.stats.ColdTime += ws
+			}
 		}
-		r := client.SubmitDetached(p, d.st.kind, d.st.size)
+		r := d.client.SubmitDetached(p, d.st.kind, d.st.size)
 		if r == nil {
 			// The task died while the virtual context waited for a
 			// hardware slot; the request can never be served here.
@@ -300,6 +350,43 @@ func (d *dispatcher) run(p *sim.Proc) {
 			r.OnDone = d.doneFn
 		}
 	}
+}
+
+// batchDrain stages the whole backlog on the channel and rings one
+// doorbell (Config.BatchDrain): the drain pays one StoreAsync and one
+// device kick — and the process one wake — for k requests, and the
+// batch reaches the device in one event at now+DirectWrite. Returns
+// false, staging nothing, when the batch fast path is unavailable
+// (engaged register, detached context); the per-request blocking path
+// then takes over for this drain, preserving the fault/trap sequence
+// engaged schedulers depend on.
+func (d *dispatcher) batchDrain() bool {
+	b, ok := d.client.BeginBatch(d.st.kind)
+	if !ok {
+		return false
+	}
+	for len(d.queue) > 0 {
+		it := d.queue[0]
+		d.queue = d.queue[1:]
+		if task := d.st.ft.Task(d.node); task == nil || !task.Alive {
+			d.srv.fleet.RequestDone(d.node)
+			d.st.stats.Aborted++
+			continue
+		}
+		if it.cold {
+			ws := d.st.spec.Tenant.WorkingSet
+			b.Stage(ws, d.st.kind, nil)
+			d.st.stats.ColdTime += ws
+		}
+		r := b.Stage(d.st.size, d.st.kind, d.doneFn)
+		r.Stamp = it.arrival
+	}
+	if n := b.Len(); n > 0 {
+		d.st.stats.Flushes++
+		d.st.stats.Batched += int64(n)
+	}
+	b.Flush(d.srv.eng)
+	return true
 }
 
 // onDone is the completion hook: it runs in engine context the instant

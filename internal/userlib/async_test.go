@@ -1,0 +1,189 @@
+package userlib
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// TestSubmitAsyncZeroHandoff: the callback path completes a request with
+// the continuation firing in engine context — no process ever waits —
+// and the doorbell reaches the device a DirectWrite after staging,
+// exactly when a blocking store's sleep would have delivered it.
+func TestSubmitAsyncZeroHandoff(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	var c *Client
+	task.Go("main", func(p *sim.Proc) { c, _ = Open(p, k, task, "t", gpu.Compute) })
+	e.RunFor(time.Millisecond)
+	if c == nil {
+		t.Fatal("Open never finished")
+	}
+
+	var done *gpu.Request
+	var doneAt sim.Time
+	start := e.Now()
+	r, ok := c.SubmitAsync(e, gpu.Compute, 40*time.Microsecond, func(r *gpu.Request) {
+		done = r
+		doneAt = e.Now()
+	})
+	if !ok || r == nil {
+		t.Fatal("SubmitAsync refused on a direct-mapped channel")
+	}
+	e.RunFor(time.Millisecond)
+	if done != r {
+		t.Fatal("continuation never fired")
+	}
+	want := start.Add(k.Costs().DirectWrite + k.Costs().ContextSwitch + 40*time.Microsecond)
+	if doneAt != want {
+		t.Fatalf("completed at %v, want %v (doorbell + context switch + execution)", doneAt, want)
+	}
+	if c.Outstanding() != 0 {
+		t.Error("async request entered the outstanding set")
+	}
+}
+
+// TestSubmitAsyncRefusesEngagedChannel: with the channel register
+// engaged (non-present page), the async fast path must refuse without
+// staging anything, and the blocking fallback must charge the fault
+// trap and block the submitting process through the fault path — the
+// interposition engaged schedulers depend on.
+func TestSubmitAsyncRefusesEngagedChannel(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		c.SubmitSync(p, gpu.Compute, 10*time.Microsecond) // absorb first context switch
+		reg := c.Channel(gpu.Compute).Reg
+		reg.SetPresent(false)
+
+		faultsBefore, writesBefore := reg.Faults, reg.DirectWrites
+		if _, ok := c.SubmitAsync(e, gpu.Compute, 10*time.Microsecond, nil); ok {
+			t.Error("SubmitAsync accepted an engaged channel")
+		}
+		if reg.Faults != faultsBefore || reg.DirectWrites != writesBefore {
+			t.Error("refused SubmitAsync touched the register page")
+		}
+		if !c.Engaged(gpu.Compute) {
+			t.Error("Engaged = false on a non-present register")
+		}
+
+		start := p.Now()
+		r := c.SubmitSync(p, gpu.Compute, 10*time.Microsecond)
+		if r == nil || !r.IsDone() {
+			t.Fatal("blocking fallback did not complete the request")
+		}
+		if reg.Faults != faultsBefore+1 {
+			t.Errorf("Faults = %d, want %d: fallback must take the fault path", reg.Faults, faultsBefore+1)
+		}
+		if blocked := p.Now().Sub(start); blocked < k.Costs().FaultTrap+10*time.Microsecond {
+			t.Errorf("fallback blocked %v, want at least fault trap + execution", blocked)
+		}
+	})
+	e.RunFor(time.Millisecond)
+}
+
+// TestSubmitAsyncRefusesTrapPerRequest: trap-per-request mode has no
+// user-space fast path at all; SubmitAsync must refuse and the blocking
+// path must still charge the per-request syscall trap and block.
+func TestSubmitAsyncRefusesTrapPerRequest(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		c.SubmitSync(p, gpu.Compute, 10*time.Microsecond) // absorb first context switch
+		c.TrapPerRequest = true
+		if _, ok := c.SubmitAsync(e, gpu.Compute, 10*time.Microsecond, nil); ok {
+			t.Error("SubmitAsync accepted in trap-per-request mode")
+		}
+		if c.Engaged(gpu.Compute) {
+			t.Error("Engaged = true in trap mode: the refusal is not an engagement")
+		}
+		start := p.Now()
+		if r := c.SubmitSync(p, gpu.Compute, 10*time.Microsecond); r == nil || !r.IsDone() {
+			t.Fatal("trap-mode submission did not complete")
+		}
+		want := k.Costs().SyscallTrap + k.Costs().DirectWrite + 10*time.Microsecond
+		if blocked := p.Now().Sub(start); blocked != want {
+			t.Errorf("trap-mode submission blocked %v, want %v", blocked, want)
+		}
+	})
+	e.RunFor(time.Millisecond)
+}
+
+// TestSubmitEngagedCommitsFault: a submission that observed the register
+// engaged must replay the fault even if the scheduler disengaged the
+// page before its process-context turn — the committed-fault rule that
+// keeps continuation machines byte-identical with the atomic blocking
+// store's check-then-fault.
+func TestSubmitEngagedCommitsFault(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		c.SubmitSync(p, gpu.Compute, 10*time.Microsecond)
+		reg := c.Channel(gpu.Compute).Reg
+
+		// The machine observes the engagement at the refusal instant...
+		reg.SetPresent(false)
+		if _, ok := c.SubmitAsync(e, gpu.Compute, 10*time.Microsecond, nil); ok {
+			t.Fatal("SubmitAsync accepted an engaged channel")
+		}
+		committed := c.Engaged(gpu.Compute)
+		if !committed {
+			t.Fatal("Engaged = false at the refusal instant")
+		}
+		// ...and the scheduler disengages before the slow lane runs.
+		reg.SetPresent(true)
+
+		faultsBefore := reg.Faults
+		start := p.Now()
+		r := c.SubmitEngaged(p, gpu.Compute, 10*time.Microsecond, nil)
+		if r == nil {
+			t.Fatal("SubmitEngaged staged nothing")
+		}
+		if reg.Faults != faultsBefore+1 {
+			t.Errorf("Faults = %d, want %d: the committed fault must replay", reg.Faults, faultsBefore+1)
+		}
+		if blocked := p.Now().Sub(start); blocked < k.Costs().FaultTrap {
+			t.Errorf("SubmitEngaged blocked %v, want at least the fault trap %v", blocked, k.Costs().FaultTrap)
+		}
+		p.Wait(r.DoneGate())
+	})
+	e.RunFor(time.Millisecond)
+}
+
+// TestWaitOneRetiresFromMiddle: WaitOne must retire the waited request
+// from the outstanding set by swap-remove — the set keeps the other
+// requests (order-independent) and Fence still drains exactly them.
+func TestWaitOneRetiresFromMiddle(t *testing.T) {
+	e, k := stack(t)
+	task := k.NewTask("t")
+	task.Go("main", func(p *sim.Proc) {
+		c, _ := Open(p, k, task, "t", gpu.Compute)
+		var reqs []*gpu.Request
+		for i := 0; i < 3; i++ {
+			reqs = append(reqs, c.Submit(p, gpu.Compute, 25*time.Microsecond))
+		}
+		c.WaitOne(p, reqs[1])
+		if !reqs[1].IsDone() {
+			t.Error("WaitOne returned before completion")
+		}
+		if c.Outstanding() != 2 {
+			t.Fatalf("Outstanding = %d after WaitOne, want 2", c.Outstanding())
+		}
+		left := map[*gpu.Request]bool{}
+		for _, r := range c.outstanding {
+			left[r] = true
+		}
+		if !left[reqs[0]] || !left[reqs[2]] || left[reqs[1]] {
+			t.Fatalf("outstanding set after middle retire: %v", left)
+		}
+		if drained := c.Fence(p); len(drained) != 2 {
+			t.Fatalf("Fence drained %d, want the 2 survivors", len(drained))
+		}
+	})
+	e.RunFor(time.Millisecond)
+}

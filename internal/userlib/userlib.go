@@ -143,21 +143,125 @@ func (c *Client) SubmitDetached(p *sim.Proc, kind gpu.Kind, size sim.Duration) *
 	return r
 }
 
+// SubmitAsync is the continuation-passing submission fast path: stage,
+// hook the completion continuation, ring the doorbell asynchronously —
+// all from engine (or process) context, never blocking and never waking
+// a process. The device sees the store at now+DirectWrite, exactly as a
+// direct-mapped blocking store would deliver it, and onDone (if non-nil)
+// fires exactly once in engine context when the request completes or
+// aborts — before the request's done gate opens, per gpu.Request.OnDone.
+//
+// It reports false — staging nothing — whenever completing the
+// submission would need process context: trap-per-request mode, an
+// engaged (non-present) channel register, or a virtual client whose
+// logical context is not currently attached. Callers then fall back to
+// the blocking methods from a real process, which charge the trap or
+// fault costs the slow paths owe. Async requests never enter the
+// outstanding set; completion is observed through the continuation.
+func (c *Client) SubmitAsync(e *sim.Engine, kind gpu.Kind, size sim.Duration, onDone func(*gpu.Request)) (*gpu.Request, bool) {
+	if c.TrapPerRequest {
+		return nil, false
+	}
+	ch := c.channels[kind]
+	if c.VC != nil {
+		// Peek, don't pin: a refused submission must leave the mux LRU
+		// clock untouched so the blocking retry's Acquire is the one use
+		// the submission charges (see VContext.Peek).
+		var ok bool
+		ch, ok = c.VC.Peek(kind)
+		if !ok {
+			return nil, false
+		}
+	}
+	if ch == nil || !ch.Reg.Present() {
+		return nil, false
+	}
+	if c.VC != nil {
+		if _, ok := c.VC.AcquireIf(kind); !ok {
+			return nil, false
+		}
+		defer c.VC.Release()
+	}
+	r := ch.Stage(size, kind)
+	r.OnDone = onDone
+	if !ch.Reg.StoreAsync(e, r.Ref) {
+		panic("userlib: async store refused on a present page")
+	}
+	return r, true
+}
+
+// Engaged reports whether the async fast path is unavailable solely
+// because the scheduler has engaged the channel register: the channel is
+// resolvable without blocking (raw client, or attached virtual context)
+// but the register page is non-present. A continuation machine calls it
+// in the same engine instant as a SubmitAsync refusal to decide whether
+// the slow-lane retry must commit to the fault path (SubmitEngaged)
+// before handing off to its process — the handoff is an event hop, and
+// the scheduler may disengage within the instant, which must not turn a
+// store that was observed engaged into a direct write.
+func (c *Client) Engaged(kind gpu.Kind) bool {
+	if c.TrapPerRequest {
+		return false
+	}
+	ch := c.channels[kind]
+	if c.VC != nil {
+		var ok bool
+		ch, ok = c.VC.Peek(kind)
+		if !ok {
+			return false
+		}
+	}
+	return ch != nil && !ch.Reg.Present()
+}
+
+// SubmitEngaged completes, on process p, a submission whose fast path
+// was refused because the channel register was engaged (Engaged
+// reported true at the refusal instant). The store is committed to the
+// fault path — mmio.Page.StoreFaulting — so the request pays the fault
+// trap and runs the kernel handler even if the scheduler disengaged the
+// page between the refusal and p's turn, exactly as a blocking Store
+// that took the fault at the observation would have. The continuation,
+// if non-nil, is hooked before the store: the handler may block p
+// arbitrarily and the request can be aborted (task death) while staged,
+// in which case onDone fires during this call. It does not wait for
+// completion. On a virtual client it returns nil, staging nothing, if
+// the task dies before the context can (re)attach.
+func (c *Client) SubmitEngaged(p *sim.Proc, kind gpu.Kind, size sim.Duration, onDone func(*gpu.Request)) *gpu.Request {
+	ch := c.channels[kind]
+	if c.VC != nil {
+		var err error
+		ch, err = c.VC.Acquire(p, kind)
+		if err != nil {
+			return nil
+		}
+		defer c.VC.Release()
+	}
+	r := ch.Stage(size, kind)
+	r.OnDone = onDone
+	ch.Reg.StoreFaulting(p, r.Ref)
+	return r
+}
+
 // SubmitSync submits a request and blocks until it completes, like a
 // blocking OpenCL kernel launch. Completion is detected by user-space
 // polling of the reference counter (no kernel involvement).
 //
-// Because the caller does nothing between the doorbell store and the
-// completion wait, the store uses the page's asynchronous fast path
-// when the channel is direct-mapped: the doorbell still reaches the
-// device at now+DirectWrite, but without a process wakeup in between.
-// An engaged channel (or the trap-per-request mode) falls back to the
-// blocking store, which may fault and delay the process arbitrarily.
+// It is a thin wrapper over SubmitAsync: because the caller does nothing
+// between the doorbell store and the completion wait, the store uses the
+// page's asynchronous fast path when the channel is direct-mapped — the
+// doorbell still reaches the device at now+DirectWrite, but without a
+// process wakeup in between — and the process parks once, on the done
+// gate. An engaged channel (or the trap-per-request mode) falls back to
+// the blocking store, which may fault and delay the process arbitrarily.
 // Sync requests never enter the outstanding set: the request is retired
 // before returning, so there is nothing for Fence to see.
 // On a virtual client it returns nil if the task dies before the
 // logical context can attach.
 func (c *Client) SubmitSync(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.Request {
+	if r, ok := c.SubmitAsync(p.Engine(), kind, size, nil); ok {
+		p.Wait(r.DoneGate())
+		return r
+	}
 	ch := c.channels[kind]
 	if c.VC != nil {
 		var err error
@@ -185,12 +289,19 @@ func (c *Client) SubmitSync(p *sim.Proc, kind gpu.Kind, size sim.Duration) *gpu.
 }
 
 // WaitOne blocks until the given request completes or aborts, and
-// retires it from the outstanding set.
+// retires it from the outstanding set by swap-remove: the hole is filled
+// with the last element, so retiring from the middle is O(1) instead of
+// shifting the tail. The outstanding set's order is therefore
+// unspecified — Fence waits on all of them regardless of order, and no
+// caller may rely on submission order surviving a WaitOne.
 func (c *Client) WaitOne(p *sim.Proc, r *gpu.Request) {
 	p.Wait(r.DoneGate())
 	for i, o := range c.outstanding {
 		if o == r {
-			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			last := len(c.outstanding) - 1
+			c.outstanding[i] = c.outstanding[last]
+			c.outstanding[last] = nil
+			c.outstanding = c.outstanding[:last]
 			break
 		}
 	}
@@ -209,3 +320,80 @@ func (c *Client) Fence(p *sim.Proc) []*gpu.Request {
 
 // Outstanding returns requests submitted but not yet fenced.
 func (c *Client) Outstanding() int { return len(c.outstanding) }
+
+// Batch stages several requests on one channel and rings a single
+// doorbell for all of them — the open-loop dispatchers' backlog-drain
+// path, paying one StoreAsync and one device kick per batch instead of
+// per request. The hardware model makes this exact: a doorbell store
+// carries the highest staged reference value, and the device moves every
+// staged request up to it into the ring at delivery (gpu.Device
+// doorbell), so the whole batch reaches the device in one event at
+// now+DirectWrite — same-instant delivery for all members.
+//
+// A batch must begin, stage, and flush within a single engine instant
+// (no process yields in between): Begin checks the fast path once, and
+// the page cannot change state under an atomic instant.
+type Batch struct {
+	c    *Client
+	ch   *gpu.Channel
+	n    int
+	last uint64
+}
+
+// BeginBatch opens a batch on the kind's channel, pinning a virtual
+// client's context until Flush. Like SubmitAsync it refuses — staging
+// nothing — when the fast path is unavailable (trap-per-request mode,
+// engaged register, or detached virtual context); callers fall back to
+// per-request blocking submission, which preserves the per-request
+// fault/trap sequence engaged schedulers depend on.
+func (c *Client) BeginBatch(kind gpu.Kind) (Batch, bool) {
+	if c.TrapPerRequest {
+		return Batch{}, false
+	}
+	ch := c.channels[kind]
+	if c.VC != nil {
+		var ok bool
+		ch, ok = c.VC.Peek(kind)
+		if !ok {
+			return Batch{}, false
+		}
+	}
+	if ch == nil || !ch.Reg.Present() {
+		return Batch{}, false
+	}
+	if c.VC != nil {
+		if _, ok := c.VC.AcquireIf(kind); !ok {
+			return Batch{}, false
+		}
+	}
+	return Batch{c: c, ch: ch}, true
+}
+
+// Stage adds one request to the batch without ringing the doorbell. The
+// continuation fires per request, exactly as with SubmitAsync.
+func (b *Batch) Stage(size sim.Duration, kind gpu.Kind, onDone func(*gpu.Request)) *gpu.Request {
+	r := b.ch.Stage(size, kind)
+	r.OnDone = onDone
+	b.n++
+	b.last = r.Ref
+	return r
+}
+
+// Len returns the number of requests staged so far.
+func (b *Batch) Len() int { return b.n }
+
+// Flush rings one doorbell for the whole batch (a no-op for an empty
+// one) and unpins a virtual client's context. The batch is dead after
+// Flush.
+func (b *Batch) Flush(e *sim.Engine) {
+	if b.n > 0 {
+		if !b.ch.Reg.StoreAsync(e, b.last) {
+			panic("userlib: batch flush refused on a present page")
+		}
+	}
+	if b.c.VC != nil {
+		b.c.VC.Release()
+	}
+	b.c = nil
+	b.ch = nil
+}

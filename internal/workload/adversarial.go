@@ -27,12 +27,79 @@ func LaunchInfiniteKernel(k *neon.Kernel, warmupRounds int) *App {
 			return
 		}
 		a.ready.Open()
-		for i := 0; i < warmupRounds && a.Task.Alive; i++ {
-			start := p.Now()
-			client.SubmitSync(p, gpu.Compute, 50*time.Microsecond)
+
+		// Warmup rounds run as a continuation machine on the async
+		// submission path, with this process as the slow lane — the same
+		// shape as App.step, reduced to one blocking request per round.
+		eng := p.Engine()
+		slow := eng.NewGate("slow-inf")
+		var (
+			rounds int
+			start  sim.Time
+			fault  bool
+			attack bool
+			submit func(*sim.Proc)
+			done   func(*gpu.Request)
+		)
+		account := func(p *sim.Proc) {
 			a.Rounds++
-			a.RoundTime += p.Now().Sub(start)
+			a.RoundTime += eng.Now().Sub(start)
+			rounds++
+			if rounds < warmupRounds && a.Task.Alive {
+				submit(p)
+				return
+			}
+			attack = true
+			slow.Signal()
 		}
+		done = func(r *gpu.Request) {
+			if r.Aborted {
+				return
+			}
+			eng.After(0, func() {
+				r.Release()
+				account(nil)
+			})
+		}
+		submit = func(p *sim.Proc) {
+			start = eng.Now()
+			committed := fault
+			fault = false
+			if !committed {
+				if _, ok := client.SubmitAsync(eng, gpu.Compute, 50*time.Microsecond, done); ok {
+					return
+				}
+				if p == nil {
+					fault = client.Engaged(gpu.Compute)
+					slow.Signal()
+					return
+				}
+			}
+			if committed {
+				if r := client.SubmitEngaged(p, gpu.Compute, 50*time.Microsecond, nil); r != nil {
+					p.Wait(r.DoneGate())
+					r.Release()
+				}
+			} else {
+				client.SubmitSync(p, gpu.Compute, 50*time.Microsecond)
+			}
+			account(p)
+		}
+		if warmupRounds > 0 {
+			submit(p)
+		} else {
+			attack = true
+		}
+		for a.Task.Alive && !attack {
+			p.Wait(slow)
+			if !attack {
+				submit(p)
+			}
+		}
+		if !a.Task.Alive {
+			return
+		}
+
 		// The attack: an infinite loop on the device.
 		client.Submit(p, gpu.Compute, gpu.Forever)
 		// Keep "working" so the task looks busy.

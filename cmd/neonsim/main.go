@@ -14,6 +14,8 @@
 //	neonsim -exp hetero -classes k20,consumer  # custom fleet class mix
 //	neonsim -exp tiers -weights 8,2,1     # custom premium:standard:best-effort contract
 //	neonsim -exp tiers -tiers premium,premium,standard  # custom admission tiers per role
+//	neonsim -exp tiers -policy maxmin     # drive the fleet through an allocation policy
+//	neonsim -exp scale -deep              # append the 10^6-tenant ledger and 10^5-tenant storm rows
 //
 // Scenarios within each experiment run on a worker pool (-parallel,
 // default NumCPU); the emitted tables are byte-identical at any width.
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exp"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -159,8 +162,19 @@ func main() {
 		weights  = flag.String("weights", "", "premium,standard,best-effort fair-share weights for the tiers experiment (e.g. 4,1,1)")
 		tiers    = flag.String("tiers", "", "admission tiers for the tiers experiment's three roles (e.g. premium,standard,best-effort)")
 		tenants  = flag.String("tenants", "", "comma-separated tenant counts for the scale experiment (default 100,1000,10000,100000)")
+		polName  = flag.String("policy", "", "allocation policy driving the tiers experiment's fleets (static, maxmin, hier[:org=w,...], cost); empty runs no allocator")
+		deep     = flag.Bool("deep", false, "append the scale experiment's deep rows (10^6-tenant ledger, 10^5-tenant full-stack storm; minutes, not seconds)")
 	)
 	flag.Parse()
+
+	if *quick && *deep {
+		fmt.Fprintf(os.Stderr, "neonsim: -deep and -quick are mutually exclusive; the deep scale rows exist precisely to run past the quick windows\n")
+		os.Exit(2)
+	}
+	if _, err := policy.Parse(*polName); err != nil {
+		fmt.Fprintf(os.Stderr, "neonsim: bad -policy value: %v\n", err)
+		os.Exit(2)
+	}
 
 	loadSweep, err := parseLoads(*loads)
 	if err != nil {
@@ -206,6 +220,8 @@ func main() {
 	opts.Weights = weightVec
 	opts.Tiers = tierVec
 	opts.Tenants = tenantSweep
+	opts.Policy = *polName
+	opts.DeepScale = *deep
 
 	var records []benchRecord
 	run := func(e exp.Experiment) {

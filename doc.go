@@ -19,8 +19,12 @@
 //     access baseline and an oracle-statistics ablation
 //   - internal/fleet    — the multi-device layer: class-aware device
 //     pools, placement policies (round-robin, least-loaded,
-//     locality-sticky, fastest-fit, class-aware sticky), and fleet-wide
-//     virtual-time reconciliation in weighted normalized work units
+//     locality-sticky, fastest-fit, class-aware sticky), fleet-wide
+//     virtual-time reconciliation in weighted normalized work units,
+//     and the round-based allocator enforcing declarative policies
+//   - internal/policy   — declarative allocation policies over the
+//     tenant×class throughput matrix: static, max-min fairness,
+//     hierarchical organization shares, cost minimization
 //   - internal/traffic  — the open-loop serving layer: arrival
 //     processes, tier-aware admission control, latency stamping
 //   - internal/userlib  — the user-space runtime library analog

@@ -104,7 +104,7 @@ func TestExperimentsDocCoversRegistry(t *testing.T) {
 		"table1", "fig2", "sec3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "protect", "sec63", "ablation-stats",
 		"ablation-params", "fleet", "serve", "hetero", "tiers",
-		"-exp scale", "-tenants",
+		"-exp scale", "-tenants", "-exp policy", "-policy", "-deep",
 	} {
 		if !strings.Contains(doc, id) {
 			t.Errorf("EXPERIMENTS.md does not document experiment %q", id)
@@ -205,6 +205,32 @@ func TestDesignDocCoversMux(t *testing.T) {
 		"TestMuxHostsStormPastContextCap", "TestMuxKillMidBacklogRecyclesSlot",
 		"TestMuxTightPoolStorm", "TestBoardEagerClampDifferential",
 		"BenchmarkBoardReconcile", "RunScaleFullCell",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("DESIGN.md does not mention %s", want)
+		}
+	}
+}
+
+// TestDesignDocCoversPolicy pins DESIGN.md §15's anchor terms: the
+// policy types, the enforcement seams of the round-based allocator,
+// and every test the section cites as evidence must keep their names,
+// or the policy/mechanism chapter silently rots.
+func TestDesignDocCoversPolicy(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"## 15.", "policy.Policy", "policy.Snapshot", "policy.Targets",
+		"policy.Static", "policy.MaxMin", "policy.Hierarchical",
+		"policy.CostMin", "policy.ClassPreference", "policy.TierBounds",
+		"policy.DefaultPrices", "fleet.Config.AllocPolicy",
+		"fleet.DefaultAllocEvery", "Tenant.EffectiveWeight",
+		"fleet.OnTargets", "workload.TenantSpec.Validate",
+		"core.LeadBound", "TestReweightingPreservesLeadBound",
+		"TestAllocatorStaticIsInert", "TestStaticPolicyTiersByteIdentical",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("DESIGN.md does not mention %s", want)

@@ -263,6 +263,20 @@ func (d *DisengagedFairQueueing) Estimate(t *neon.Task) sim.Duration {
 // the largest observed values. The property tests
 // TestDFQLeadBoundInvariant and TestWeightedDFQLeadBoundInvariant
 // assert MaxLead never exceeds it.
+//
+// Dynamic-weight contract: the bound stays valid when weights change
+// mid-run (the policy layer's round-based allocator rewrites
+// neon.Task.Weight between rounds). Weights are read afresh at every
+// charging step — nothing here caches them — each episode's window
+// term uses that episode's own lightest *charged* weight and joins
+// maxWindow before the episode's lead check, and past charges are
+// never restated: a re-weight changes future charging rates only.
+// Writers must keep weights positive and finite
+// (workload.TenantSpec.Validate; the policy layer's min-1
+// normalization additionally keeps the lightest weight at 1, so the
+// window term never exceeds the unweighted scheduler's).
+// TestReweightingPreservesLeadBound churns weights through the live
+// allocator and asserts the invariant end to end.
 func (d *DisengagedFairQueueing) LeadBound() Work {
 	return d.maxFreeRun + d.maxWindow
 }

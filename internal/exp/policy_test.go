@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStaticPolicyTiersByteIdentical is the mechanism-equivalence half
+// of the policy/mechanism split: running the tiers experiment with the
+// static policy attached through the round-based allocator must render
+// byte-identically to running it with no allocator at all. The static
+// policy passes spec weights through verbatim, hints nothing, and
+// defers tier bounds, so every allocator round writes back exactly the
+// state it read — any drift here means the allocator is not inert.
+func TestStaticPolicyTiersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the tiers grid twice (~seconds)")
+	}
+	legacy := TiersExp(Quick()).String()
+	o := Quick()
+	o.Policy = "static"
+	allocated := TiersExp(o).String()
+	if legacy == allocated {
+		return
+	}
+	legacyLines := strings.Split(legacy, "\n")
+	allocLines := strings.Split(allocated, "\n")
+	n := len(legacyLines)
+	if len(allocLines) < n {
+		n = len(allocLines)
+	}
+	for i := 0; i < n; i++ {
+		if legacyLines[i] != allocLines[i] {
+			t.Fatalf("static-through-allocator drifted from no-allocator at line %d:\n  no allocator: %q\n  static:       %q",
+				i+1, legacyLines[i], allocLines[i])
+		}
+	}
+	t.Fatalf("static-through-allocator output length %d lines vs no-allocator %d lines",
+		len(allocLines), len(legacyLines))
+}
+
+// TestPolicyExpSeparatesObjectives pins the policy experiment's
+// headline claims cell by cell, independent of table formatting:
+// max-min beats static on the worst-case normalized share, the
+// hierarchical policy holds acme's org share through a bitco crowd
+// that dilutes it under flat weights, and the cost policy serves the
+// slack-fleet population cheaper per delivered work than static.
+func TestPolicyExpSeparatesObjectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six policy cells (~seconds)")
+	}
+	o := Quick()
+	run := func(probe, pol, pop string) PolicyResult {
+		return RunPolicyCell(o, policyCell{probe, pol, pop})
+	}
+
+	static := run("shares", "static", "-")
+	maxmin := run("shares", "maxmin", "-")
+	if maxmin.WorstEq <= static.WorstEq {
+		t.Errorf("max-min worst-case normalized share %.3f does not beat static %.3f",
+			maxmin.WorstEq, static.WorstEq)
+	}
+
+	flatCrowd := run("orgs", "static", "crowd")
+	hierBase := run("orgs", PolicyHierSpec, "base")
+	hierCrowd := run("orgs", PolicyHierSpec, "crowd")
+	if hierCrowd.OrgShare <= flatCrowd.OrgShare {
+		t.Errorf("hier acme share %.3f under crowd does not beat flat %.3f",
+			hierCrowd.OrgShare, flatCrowd.OrgShare)
+	}
+	// Org isolation: the crowd moves acme's hierarchical share by far
+	// less than the flat dilution (3/4 -> 3/7 in contract terms).
+	if drift := hierBase.OrgShare - hierCrowd.OrgShare; drift > 0.15 {
+		t.Errorf("hier acme share drifted %.3f (base %.3f -> crowd %.3f) despite org isolation",
+			drift, hierBase.OrgShare, hierCrowd.OrgShare)
+	}
+
+	staticCost := run("cost", "static", "-")
+	costCost := run("cost", "cost", "-")
+	if costCost.CostPerWork >= staticCost.CostPerWork {
+		t.Errorf("cost policy $/work %.3f not below static %.3f",
+			costCost.CostPerWork, staticCost.CostPerWork)
+	}
+}
+
+// TestScaleQuickExcludesDeepRows is the runtime tripwire for the deep
+// scale rows: the committed quick golden must not contain them (they
+// cost minutes), and the committed deep golden must. Checking the
+// goldens instead of re-running the grids keeps the tripwire free.
+func TestScaleQuickExcludesDeepRows(t *testing.T) {
+	quick, err := os.ReadFile(filepath.Join("testdata", "quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(quick), "1000000") {
+		t.Fatal("quick.golden contains the 10^6-tenant deep row; deep rows must stay behind -deep")
+	}
+	deep, err := os.ReadFile(filepath.Join("testdata", "scale_deep.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"1000000", "100000"} {
+		if !strings.Contains(string(deep), row) {
+			t.Fatalf("scale_deep.golden lacks the %s-tenant row", row)
+		}
+	}
+}

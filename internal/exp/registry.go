@@ -35,6 +35,7 @@ func Registry() []Experiment {
 		{"hetero", "mixed device classes: normalized vs raw DFQ accounting", HeteroExp},
 		{"tiers", "weighted shares and SLO service tiers under overload", TiersExp},
 		{"scale", "indexed fair queueing at 10^2..10^5 tenants", ScaleExp},
+		{"policy", "declarative allocation policies over the tenant x class matrix", PolicyExp},
 	}
 }
 

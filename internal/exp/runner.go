@@ -57,6 +57,18 @@ type Options struct {
 	// Tenants overrides the scale experiment's tenant-count sweep
 	// (cmd/neonsim -tenants); nil means DefaultScaleTenants.
 	Tenants []int
+	// Policy selects the allocation policy (cmd/neonsim -policy) the
+	// tiers experiment attaches to its fleets via the round-based
+	// allocator: a policy.Parse name such as "static", "maxmin", "hier"
+	// (optionally "hier:org=weight,..."), or "cost". Empty runs no
+	// allocator at all — and "static" through the allocator is
+	// byte-identical to that, which the differential test pins.
+	Policy string
+	// DeepScale appends the scale experiment's deep rows (cmd/neonsim
+	// -deep): the 10^6-tenant synthetic ledger cell and the 10^5-tenant
+	// full-stack storm. Off by default — the rows cost minutes, not
+	// seconds, and have their own golden (testdata/scale_deep.golden).
+	DeepScale bool
 }
 
 // DefaultPenalty is the graphics arbitration bias observed in Section

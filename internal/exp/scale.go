@@ -437,6 +437,19 @@ func RunScaleFullCell(o Options, tenants int, sched Sched) ScaleFullResult {
 	return res
 }
 
+// The deep rows (Options.DeepScale / cmd/neonsim -deep): the ROADMAP's
+// 10^6-tenant ledger population through the synthetic harness, and a
+// 10^5-tenant full-stack storm — another decade past each sweep's top.
+// They append after the standard grid, so the standard rows (and their
+// forked seeds) are byte-identical whether the deep rows run or not;
+// testdata/scale_deep.golden pins the extended table.
+const (
+	// scaleDeepTenants is the deep synthetic-ledger population.
+	scaleDeepTenants = 1_000_000
+	// scaleDeepFullTenants is the deep full-stack storm population.
+	scaleDeepFullTenants = 100_000
+)
+
 // ScaleExp sweeps tenant count x scheduler, every cell an independent
 // job on the worker pool.
 func ScaleExp(opts Options) *report.Table {
@@ -463,6 +476,14 @@ func ScaleExp(opts Options) *report.Table {
 				fmt.Sprintf("%d tenants, %s+mux full stack", n, s),
 				func(o Options) any { return RunScaleFullCell(o, n, s) }))
 		}
+	}
+	if opts.DeepScale {
+		jobs = append(jobs, NewJob("scale", len(jobs),
+			fmt.Sprintf("%d tenants, %s (deep)", scaleDeepTenants, DFQ),
+			func(o Options) any { return RunScaleCell(o, scaleDeepTenants, DFQ) }))
+		jobs = append(jobs, NewJob("scale", len(jobs),
+			fmt.Sprintf("%d tenants, %s+mux full stack (deep)", scaleDeepFullTenants, DFQ),
+			func(o Options) any { return RunScaleFullCell(o, scaleDeepFullTenants, DFQ) }))
 	}
 
 	t := report.New("Scale: indexed fair queueing + virtual-context mux, 10^2..10^5 tenants",
@@ -513,5 +534,8 @@ func ScaleExp(opts Options) *report.Table {
 	t.AddNote("allocs/req counts deterministic structural allocations (flow registrations + slab/heap growth), not runtime allocations — those are gated in BENCH_8.json (BenchmarkDFQCycleTenants*, BenchmarkBoardReconcile)")
 	t.AddNote("bound is worst fleet-wide lead over the weighted bound freeRun + devices x window/minWeight; ts has no virtual-time ledger to bound")
 	t.AddNote("+mux rows are real end-to-end storms, not the synthetic harness: every tenant is a live kernel task on one %d-context device, multiplexed by the kernel's virtual-context table (tasks = logical contexts hosted, hwctx = peak hardware contexts attached, reattach = LRU re-binds each paying the context-switch cost)", scaleFullContexts)
+	if opts.DeepScale {
+		t.AddNote("deep rows (-deep): the 10^6-tenant synthetic ledger and the 10^5-tenant full-stack storm, appended after the standard grid so the standard rows stay byte-identical to the quick golden")
+	}
 	return t
 }

@@ -239,12 +239,13 @@ func TierShareDFQ() core.DFQConfig {
 func RunTierShareCell(o Options, sched, acct string, weights [3]float64) TierResult {
 	eng := sim.NewEngine()
 	f, err := fleet.New(eng, fleet.Config{
-		Devices:  1,
-		Policy:   fleet.NewLocalitySticky(fleet.DefaultStickyDepth),
-		Sched:    sched,
-		DFQ:      TierShareDFQ(),
-		RunLimit: o.RunLimit,
-		Seed:     o.Seed,
+		Devices:     1,
+		Policy:      fleet.NewLocalitySticky(fleet.DefaultStickyDepth),
+		Sched:       sched,
+		DFQ:         TierShareDFQ(),
+		RunLimit:    o.RunLimit,
+		Seed:        o.Seed,
+		AllocPolicy: allocPolicy(o),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: %v", err))
@@ -282,11 +283,12 @@ func RunTierServeCell(o Options, load float64, weights [3]float64) TierResult {
 	streams := TierPopulation(TiersDevices, load, weights, o.tierAssignments())
 	srv, err := traffic.New(eng, traffic.Config{
 		Fleet: fleet.Config{
-			Devices:  TiersDevices,
-			Policy:   fleet.NewLocalitySticky(ServeAdmitDepth),
-			Sched:    "dfq",
-			RunLimit: o.RunLimit,
-			Seed:     o.Seed,
+			Devices:     TiersDevices,
+			Policy:      fleet.NewLocalitySticky(ServeAdmitDepth),
+			Sched:       "dfq",
+			RunLimit:    o.RunLimit,
+			Seed:        o.Seed,
+			AllocPolicy: allocPolicy(o),
 		},
 		AdmitDepth: ServeAdmitDepth * TiersDevices,
 		Streams:    streams,

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/gpu"
 	"repro/internal/neon"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	// Seed feeds each tenant's deterministic jitter stream, forked by
 	// launch index so populations are order-independent.
 	Seed int64
+	// AllocPolicy, when set, installs the round-based allocator: every
+	// AllocEvery the policy recomputes target allocations over the
+	// tenant×class matrix and the fleet translates them into effective
+	// DFQ weights and placement hints (see allocator.go). Nil keeps the
+	// pre-policy behavior: spec weights, unhinted placement.
+	AllocPolicy policy.Policy
+	// AllocEvery is the allocator round period; <= 0 takes
+	// DefaultAllocEvery. Ignored unless AllocPolicy is set.
+	AllocEvery sim.Duration
 	// BoardShards and BoardEpoch size the fleet-wide virtual-time
 	// board: principals hash over BoardShards min-VT heaps, and the
 	// system-virtual-time fold runs every BoardEpoch-th episode (between
@@ -130,10 +140,15 @@ type Fleet struct {
 	tenants []*Tenant
 	seed    int64
 
+	allocPol  policy.Policy
+	onTargets func(policy.Snapshot, policy.Targets)
+
 	// Placements counts placement decisions; Migrations counts the
 	// subset that moved a tenant off its previous device.
 	Placements int64
 	Migrations int64
+	// AllocRounds counts allocator rounds applied (0 without a policy).
+	AllocRounds int64
 }
 
 // New builds a fleet of cfg.Devices per-device stacks on the engine.
@@ -209,6 +224,14 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 		f.nodes = append(f.nodes, &Node{Index: i, Class: class, Device: dev, Kernel: k, Sched: sched})
 	}
 	f.loads = newLoadIndex(f.nodes)
+	if cfg.AllocPolicy != nil {
+		f.allocPol = cfg.AllocPolicy
+		every := cfg.AllocEvery
+		if every <= 0 {
+			every = DefaultAllocEvery
+		}
+		(&allocator{f: f, pol: cfg.AllocPolicy, every: every}).start()
+	}
 	return f, nil
 }
 

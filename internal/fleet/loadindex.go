@@ -90,6 +90,33 @@ func (x *loadIndex) bestEffective() *Node {
 	return best
 }
 
+// bestEffectiveAmong is bestEffective restricted to classes whose
+// speed appears in speeds (the allocator's class-preference hints).
+// Nil when no fleet class matches — the caller falls back to the
+// unrestricted pick.
+func (x *loadIndex) bestEffectiveAmong(speeds []float64) *Node {
+	var best *Node
+	var bestScore float64
+	for _, g := range x.groups {
+		match := false
+		for _, s := range speeds {
+			if g.speed == s {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		n := g.nodes.nodes[0]
+		s := effectiveThroughput(n)
+		if best == nil || s > bestScore || (s == bestScore && n.Index < best.Index) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
 // upgradeFor returns the best node worth migrating warm state to: class
 // speed at least speedup times the warm node's, queue depth under
 // depth, highest effective throughput (ties to the lowest index), or

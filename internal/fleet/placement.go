@@ -148,8 +148,28 @@ func (*FastestFit) Name() string { return "fastest-fit" }
 // Pick implements Policy. Within one class the effective-throughput
 // score is maximized by the least-loaded node, so the pick compares one
 // load-index head per class instead of scanning every node.
+//
+// When the round-based allocator has hinted the tenant toward target
+// classes (the active policy's allocation concentrates it there), the
+// pick is biased to those classes: the hint wins even when a faster
+// class sits idle — steering against raw speed is exactly what cost
+// and fairness policies ask for. The escape hatch is congestion, not
+// speed: once the best hinted node queues at least twice as deep as
+// the global best (loads compared +1, so an empty fleet never
+// escapes), honoring a stale hint costs more than a round of drift
+// until the policy recomputes, and the pick falls back to the greedy.
+// Without hints (no allocator, or a policy with proportional rows) the
+// pick is exactly the unhinted greedy.
 func (*FastestFit) Pick(f *Fleet, t *Tenant) *Node {
-	return f.loads.bestEffective()
+	best := f.loads.bestEffective()
+	if len(t.hintClasses) == 0 {
+		return best
+	}
+	hinted := f.loads.bestEffectiveAmong(t.hintClasses)
+	if hinted == nil || hinted.Load()+1 >= 2*(best.Load()+1) {
+		return best
+	}
+	return hinted
 }
 
 // effectiveThroughput scores a node for FastestFit: the rate at which

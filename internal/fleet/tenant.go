@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/neon"
@@ -27,6 +29,13 @@ type Tenant struct {
 	rng     *sim.RNG
 	busy0   sim.Duration
 	work0   core.Work
+
+	// allocWeight is the fair-share weight the round-based allocator
+	// last applied (0 = no allocator, use the spec weight), and
+	// hintClasses the class speeds the active policy wants this
+	// tenant's work steered toward (empty = no preference).
+	allocWeight float64
+	hintClasses []float64
 
 	// Continuation-machine state (DESIGN.md §14), mirroring
 	// workload.App: phase/idx drive the round, pending/fencing the
@@ -70,7 +79,17 @@ type Tenant struct {
 // uses this: it drives the tenant's requests from an arrival process
 // instead, but still wants fleet placement, per-node depth accounting,
 // and the tenant's lazily opened per-device clients.
+//
+// Invalid contract terms (negative or non-finite weight, unknown tier)
+// panic, mirroring workload.FleetPopulation's convention: tenant specs
+// are experiment-grid configuration, not user input, and a bad weight
+// silently clamped to 1 by the ledgers would corrupt every fairness
+// table downstream. The serving layer validates with a proper error
+// before reaching here.
 func (f *Fleet) NewTenant(spec workload.TenantSpec) *Tenant {
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("fleet: %v", err))
+	}
 	t := &Tenant{
 		Spec:      spec,
 		fleet:     f,
@@ -129,13 +148,35 @@ func (t *Tenant) NormalizedWork() core.Work {
 }
 
 // WeightedWork returns the tenant's normalized work divided by its
-// fair-share weight — the unit weighted fair queueing equalizes across
-// tenants. Under contention every backlogged tenant's WeightedWork
-// should advance at the same rate no matter how its Weight (and hence
-// its raw share) differs; the tiers experiment's fairness columns are
-// computed over it.
+// effective fair-share weight — the unit weighted fair queueing
+// equalizes across tenants. Under contention every backlogged tenant's
+// WeightedWork should advance at the same rate no matter how its weight
+// (and hence its raw share) differs; the tiers experiment's fairness
+// columns are computed over it.
 func (t *Tenant) WeightedWork() core.Work {
-	return core.PerWeight(t.NormalizedWork(), t.Spec.ShareWeight())
+	return core.PerWeight(t.NormalizedWork(), t.EffectiveWeight())
+}
+
+// EffectiveWeight returns the fair-share weight the mechanism charges
+// the tenant at: the weight the round-based allocator last applied when
+// an allocation policy is active, otherwise the spec's own weight.
+func (t *Tenant) EffectiveWeight() float64 {
+	if t.allocWeight > 0 {
+		return t.allocWeight
+	}
+	return t.Spec.ShareWeight()
+}
+
+// setAllocWeight installs an allocator-computed weight: every live
+// kernel task re-weights immediately (the DFQ ledgers read Task.Weight
+// at each charging step, so no ledger state needs rewriting — see the
+// dynamic-weight contract in core/dfq.go), and tasks opened later
+// inherit it at creation.
+func (t *Tenant) setAllocWeight(w float64) {
+	t.allocWeight = w
+	for _, task := range t.tasks {
+		task.Weight = t.EffectiveWeight()
+	}
 }
 
 // ResetStats clears round statistics and re-baselines service time.
@@ -172,7 +213,7 @@ func (t *Tenant) clientOn(p *sim.Proc, n *Node) (*userlib.Client, error) {
 		return c, nil
 	}
 	task := n.Kernel.NewTask(t.Spec.Name)
-	task.Weight = t.Spec.ShareWeight()
+	task.Weight = t.EffectiveWeight()
 	kinds := t.Spec.Channels
 	if len(kinds) == 0 {
 		kinds = []gpu.Kind{gpu.Compute}

@@ -19,9 +19,12 @@
 package traffic
 
 import (
+	"fmt"
+
 	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/userlib"
 	"repro/internal/workload"
@@ -151,7 +154,21 @@ type doneRec struct {
 // New builds the fleet, registers one tenant per stream, and spawns the
 // arrival generators. The simulation (engine Run/RunFor) then serves
 // traffic until stopped.
+//
+// Stream tenant specs are validated here with a proper error (the
+// serving front door is where user-shaped configuration enters), so a
+// malformed weight or tier never reaches the fleet's panic. When the
+// fleet runs an allocation policy (Fleet.AllocPolicy), the server
+// refreshes its admission tier bounds from the policy's targets after
+// every allocator round: tier headroom then follows the policy's
+// allocation instead of the hard-coded depth ratios. Policies without
+// an opinion (static) leave the derived bounds untouched.
 func New(eng *sim.Engine, cfg Config) (*Server, error) {
+	for i, spec := range cfg.Streams {
+		if err := spec.Tenant.Validate(); err != nil {
+			return nil, fmt.Errorf("traffic: stream %d: %w", i, err)
+		}
+	}
 	f, err := fleet.New(eng, cfg.Fleet)
 	if err != nil {
 		return nil, err
@@ -159,6 +176,13 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 	s := &Server{eng: eng, fleet: f, batch: cfg.BatchDrain,
 		adm: Admission{MaxDepth: cfg.AdmitDepth, TierDepths: cfg.TierDepths}}
 	s.flushFn = s.flushDone
+	if pol := f.AllocPolicy(); pol != nil {
+		f.OnTargets(func(snap policy.Snapshot, tg policy.Targets) {
+			if b := policy.TierBounds(pol, snap, tg, cfg.AdmitDepth); b != nil {
+				s.adm.TierDepths = b
+			}
+		})
+	}
 	for i, spec := range cfg.Streams {
 		st := &stream{
 			spec: spec,

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/gpu"
@@ -78,12 +79,21 @@ type TenantSpec struct {
 
 	// Weight is the tenant's fair-share weight: under contention the
 	// fair-queueing schedulers grant device time in proportion to it.
-	// Zero means the default weight of 1 (equal shares).
+	// Zero means the default weight of 1 (equal shares). Negative or
+	// non-finite weights are invalid — Validate rejects them rather than
+	// letting the ledgers silently clamp them to 1.
 	Weight float64
 
 	// Tier is the tenant's admission service tier; the zero value is
 	// TierStandard.
 	Tier Tier
+
+	// Org is the organization (sibling group) the tenant belongs to in
+	// hierarchical share policies: org weights split the fleet first,
+	// then tenant weights split within each org. Empty means the tenant
+	// stands alone at the top level (its own implicit weight-1 org), so
+	// flat-weight populations are unchanged.
+	Org string
 }
 
 // ShareWeight returns the tenant's effective weight (1 when unset).
@@ -92,6 +102,23 @@ func (s TenantSpec) ShareWeight() float64 {
 		return 1
 	}
 	return s.Weight
+}
+
+// Validate rejects malformed contract terms before any ledger sees
+// them. Weight zero is the documented "unset → 1" default and stays
+// legal; negative or non-finite weights are the specs core.PerWeight
+// used to clamp to 1 silently — under hierarchical composition that
+// clamp would quietly rewrite an org's whole subtree, so they are now
+// an error at spec time. Unknown tiers are rejected the same way.
+func (s TenantSpec) Validate() error {
+	if s.Weight < 0 || math.IsNaN(s.Weight) || math.IsInf(s.Weight, 0) {
+		return fmt.Errorf("workload: tenant %q has invalid weight %v (must be finite and non-negative; 0 means default 1)",
+			s.Name, s.Weight)
+	}
+	if _, err := ParseTier(string(s.Tier)); err != nil {
+		return fmt.Errorf("workload: tenant %q: %w", s.Name, err)
+	}
+	return nil
 }
 
 // OpenLoopTenant returns a TenantSpec shaped for the open-loop serving

@@ -129,6 +129,37 @@ func TestThrottleSpec(t *testing.T) {
 	}
 }
 
+// TestTenantSpecValidate is the regression test for the silent weight
+// clamp: core.PerWeight treats weight <= 0 as 1, so a negative or NaN
+// weight used to sail through spec parsing and quietly become an equal
+// share. Validate must reject those at spec time while keeping zero as
+// the documented "unset → default 1" value.
+func TestTenantSpecValidate(t *testing.T) {
+	ok := []TenantSpec{
+		{Spec: Spec{Name: "zero"}},
+		{Spec: Spec{Name: "unit"}, Weight: 1},
+		{Spec: Spec{Name: "frac"}, Weight: 0.25},
+		{Spec: Spec{Name: "heavy"}, Weight: 4, Tier: TierPremium, Org: "acme"},
+	}
+	for _, s := range ok {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", s.Name, err)
+		}
+	}
+	bad := []TenantSpec{
+		{Spec: Spec{Name: "neg"}, Weight: -1},
+		{Spec: Spec{Name: "nan"}, Weight: math.NaN()},
+		{Spec: Spec{Name: "inf"}, Weight: math.Inf(1)},
+		{Spec: Spec{Name: "ninf"}, Weight: math.Inf(-1)},
+		{Spec: Spec{Name: "tier"}, Weight: 1, Tier: Tier("platinum")},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%s) accepted invalid spec %+v", s.Name, s)
+		}
+	}
+}
+
 func TestAppRunsRounds(t *testing.T) {
 	e, k := stack(t)
 	spec, _ := ByName("DCT")
